@@ -1,0 +1,97 @@
+"""Ablation A2 — prefix-extension granularity (r bits per phase).
+
+Algorithm 1 fixes one bit per phase; Theorem 1.3/Lemma 4.2 fix more.  The
+trade-offs made explicit by this table: an r-bit phase needs 2^r bucket
+counts per edge (⌈2^r/2⌉ CONGEST rounds of neighbor exchange — this
+exponential term is why the paper's CONGEST algorithm stays at r = 1 and
+why the CLIQUE needs Lenzen routing before raising r), fewer phases mean
+fewer tree aggregations, and at fixed total accuracy the coarser per-phase
+thresholds may leave a higher final potential.  All schedules must stay
+within the 2n potential budget and produce proper colorings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.core.instances import make_delta_plus_one_instance
+from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.validation import verify_proper_list_coloring
+from repro.graphs import generators as gen
+
+
+def run_schedules():
+    graph = gen.random_regular_graph(64, 4, seed=91)
+    instance = make_delta_plus_one_instance(graph)
+    rows = []
+    schedules = {
+        "r=1 (Algorithm 1)": None,
+        "r=2": lambda _p, left: 2,
+        "r=3": lambda _p, left: 3,
+        "single shot (Lemma 4.2)": lambda _p, left: left,
+    }
+    for label, schedule in schedules.items():
+        result = solve_list_coloring_congest(instance, r_schedule=schedule)
+        verify_proper_list_coloring(instance, result.colors)
+        first = result.passes[0]
+        rows.append(
+            {
+                "label": label,
+                "phases": first.phases,
+                "seed_bits": first.seed_bits,
+                "final_phi": first.potential_trace[-1],
+                "rounds": result.rounds.total,
+                "passes": result.num_passes,
+            }
+        )
+    return rows
+
+
+def test_ablation_extension_granularity(benchmark):
+    rows = benchmark.pedantic(run_schedules, rounds=1, iterations=1)
+    table = Table(
+        "A2 — r-bit extension ablation (64 nodes, Δ=4, CONGEST accounting)",
+        ["schedule", "phases/pass", "seed bits/pass", "final ΣΦ",
+         "total rounds", "passes"],
+    )
+    for row in rows:
+        table.add_row(
+            row["label"], row["phases"], row["seed_bits"],
+            row["final_phi"], row["rounds"], row["passes"],
+        )
+    table.show()
+    by_label = {row["label"]: row for row in rows}
+    # Bigger r ⇒ fewer phases but not fewer seed bits per pass.
+    assert (
+        by_label["single shot (Lemma 4.2)"]["phases"]
+        < by_label["r=1 (Algorithm 1)"]["phases"]
+    )
+    # All schedules keep the potential within the 2n budget.
+    for row in rows:
+        assert row["final_phi"] <= 2 * 64 + 1e-9
+
+
+def test_ablation_derandomized_vs_randomized_end_to_end(benchmark):
+    """Determinism's cost: rounds of Thm 1.1 vs the randomized baseline
+    running on the same engine accounting (seeded run, no derandomization
+    aggregations — the paper's 'what randomness buys' comparison)."""
+
+    def run():
+        graph = gen.random_regular_graph(64, 4, seed=92)
+        instance = make_delta_plus_one_instance(graph)
+        det = solve_list_coloring_congest(instance)
+        rng = np.random.default_rng(93)
+        rand = solve_list_coloring_congest(instance, rng=rng, strict=False)
+        return det, rand
+
+    det, rand = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "A2b — deterministic vs randomized pass structure",
+        ["variant", "passes", "rounds charged"],
+    )
+    table.add_row("derandomized (Thm 1.1)", det.num_passes, det.rounds.total)
+    table.add_row("random seeds (Lemma 2.3 process)", rand.num_passes, rand.rounds.total)
+    table.show()
+    # Both terminate with proper colorings; determinism costs extra rounds
+    # only through the seed aggregations, bounded by the same formula.
+    assert det.num_passes <= rand.num_passes + 2

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the computational kernels (timed properly).
+
+These use pytest-benchmark's statistics (many iterations) since the
+kernels are fast: the counting DP, GF(2^m) vector multiplication, the
+phase estimator, and one full derandomized phase.  They guard against
+performance regressions in the derandomization hot path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.counting import count_xor_below
+from repro.core.derandomize import derandomize_phase
+from repro.core.potential import PhaseEstimator
+from repro.hashing.gf2 import get_field
+from repro.hashing.pairwise import PairwiseFamily
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    rng = np.random.default_rng(0)
+    n = 128
+    psi = np.arange(n, dtype=np.int64)
+    counts = rng.integers(1, 5, size=(n, 2)).astype(np.int64)
+    eu, ev = [], []
+    for u in range(n):
+        for v in range(u + 1, min(u + 5, n)):
+            eu.append(u)
+            ev.append(v)
+    family = PairwiseFamily(8, 9)
+    return PhaseEstimator(
+        family, psi, counts,
+        np.array(eu, dtype=np.int64), np.array(ev, dtype=np.int64),
+    )
+
+
+def test_kernel_counting_dp(benchmark):
+    b = 12
+    rng = np.random.default_rng(1)
+    d = rng.integers(0, 1 << b, size=100_000).astype(np.int64)
+    t1 = rng.integers(0, (1 << b) + 1, size=100_000).astype(np.int64)
+    t2 = rng.integers(0, (1 << b) + 1, size=100_000).astype(np.int64)
+    result = benchmark(count_xor_below, d, t1, t2, b)
+    assert (result >= 0).all()
+
+
+def test_kernel_gf2_mul_vec(benchmark):
+    field = get_field(16)
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, field.order, size=50_000).astype(np.int64)
+    b = rng.integers(0, field.order, size=50_000).astype(np.int64)
+    out = benchmark(field.mul_vec, a, b)
+    assert out.shape == a.shape
+
+
+def test_kernel_expected_by_s1(benchmark, estimator):
+    candidates = np.arange(256, dtype=np.int64)
+    values = benchmark(estimator.expected_by_s1, candidates)
+    assert len(values) == 256
+
+
+def test_kernel_exact_by_sigma(benchmark, estimator):
+    values = benchmark(estimator.exact_by_sigma, 37)
+    assert len(values) == 1 << estimator.b
+
+
+def test_kernel_full_phase_derandomization(benchmark, estimator):
+    choice = benchmark.pedantic(
+        lambda: derandomize_phase(estimator), rounds=3, iterations=1
+    )
+    assert choice.final_value <= choice.initial_expectation + 1e-9

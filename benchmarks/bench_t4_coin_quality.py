@@ -1,0 +1,107 @@
+"""Experiment T4 — Lemma 2.5: biased coins from a short shared seed.
+
+Claims checked by exhaustive enumeration of the seed space:
+* Pr[C_v = 1] lies in [p_v, p_v + 2^-b], exactly 0/1 at the extremes;
+* the coins of two nodes with distinct input colors are *exactly*
+  independent (joint = product of marginals);
+* the seed length is m + b ≤ 2·max(log K, b) bits.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.hashing.coins import coin_thresholds
+from repro.hashing.pairwise import PairwiseFamily
+
+
+def coin_statistics(a=4, b=4):
+    family = PairwiseFamily(a, b)
+    m = family.m
+    order = 1 << m
+    sigmas = np.arange(1 << b, dtype=np.int64)
+    worst_bias = 0.0
+    # Marginals for a few probabilities p = k/L.
+    rows = []
+    for k1, size in [(0, 5), (1, 5), (2, 5), (5, 5), (3, 7), (1, 2)]:
+        t = int(coin_thresholds(np.array([k1]), np.array([size]), b)[0])
+        hits = 0
+        for s1 in range(order):
+            g = int(family.g_values(s1, np.array([3]))[0])
+            hits += int(((g ^ sigmas) < t).sum())
+        pr = hits / (order * (1 << b))
+        p = k1 / size
+        bias = pr - p
+        worst_bias = max(worst_bias, abs(bias) if k1 not in (0, size) else 0.0)
+        rows.append((f"{k1}/{size}", p, pr, bias))
+    return family, rows, worst_bias
+
+
+def test_t4_coin_bias(benchmark):
+    family, rows, worst = benchmark.pedantic(
+        coin_statistics, rounds=1, iterations=1
+    )
+    table = Table(
+        "T4 — Lemma 2.5 coin bias (exhaustive over the seed space)",
+        ["p = k/|L|", "target", "realized Pr[C=1]", "bias"],
+    )
+    for label, p, pr, bias in rows:
+        table.add_row(label, p, pr, bias)
+        assert p - 1e-12 <= pr <= p + 2.0 ** (-family.b) + 1e-12
+    table.show()
+    assert worst <= 2.0 ** (-family.b)
+
+
+def test_t4_adjacent_independence(benchmark):
+    """Exact pairwise independence of the coins of two distinct colors."""
+
+    def run():
+        family = PairwiseFamily(3, 3)
+        b = family.b
+        order = 1 << family.m
+        t_u, t_v = 3, 5  # arbitrary thresholds
+        joint = np.zeros((2, 2), dtype=np.int64)
+        for s1 in range(order):
+            gs = family.g_values(s1, np.array([2, 6]))
+            for sigma in range(1 << b):
+                cu = int((gs[0] ^ sigma) < t_u)
+                cv = int((gs[1] ^ sigma) < t_v)
+                joint[cu, cv] += 1
+        return joint
+
+    joint = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = joint.sum()
+    pu = joint[1].sum() / total
+    pv = joint[:, 1].sum() / total
+    table = Table(
+        "T4b — joint coin distribution vs product (exact independence)",
+        ["event", "joint", "product of marginals"],
+    )
+    for cu in (0, 1):
+        for cv in (0, 1):
+            j = joint[cu, cv] / total
+            prod = (pu if cu else 1 - pu) * (pv if cv else 1 - pv)
+            table.add_row(f"C_u={cu}, C_v={cv}", j, prod)
+            assert j == pytest.approx(prod, abs=1e-12)
+    table.show()
+
+
+def test_t4_seed_length(benchmark):
+    def run():
+        rows = []
+        for a, b in [(4, 4), (8, 5), (5, 9), (10, 10)]:
+            fam = PairwiseFamily(a, b)
+            rows.append((a, b, fam.reduced_seed_bits, 2 * max(a, b)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "T4c — seed length m+b vs Theorem 2.4 bound 2·max(a,b)",
+        ["a = log K", "b", "seed bits", "bound"],
+    )
+    for a, b, bits, bound in rows:
+        table.add_row(a, b, bits, bound)
+        assert bits <= bound
+    table.show()

@@ -1,0 +1,118 @@
+"""Experiment T5 / F4 — Theorem 1.3: CONGESTED CLIQUE rounds.
+
+Claims checked:
+* clique rounds are independent of the graph diameter and beat the CONGEST
+  solver on high-diameter graphs;
+* rounds grow like O(log C · log log Δ) — in particular far slower than the
+  CONGEST D·log n·log C·(...) cost;
+* the multi-bit acceleration engages: later passes fix more prefix bits per
+  phase (F4 series).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.cliquemodel.coloring import solve_list_coloring_clique
+from repro.core.instances import make_delta_plus_one_instance
+from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.validation import verify_proper_list_coloring
+from repro.graphs import generators as gen
+
+
+def run_delta_sweep():
+    rows = []
+    for delta in (2, 4, 8, 16):
+        n = 128
+        graph = (
+            gen.cycle_graph(n)
+            if delta == 2
+            else gen.random_regular_graph(n, delta, seed=31)
+        )
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_clique(instance)
+        verify_proper_list_coloring(instance, result.colors)
+        log_c = instance.color_bits
+        bound = log_c * max(1, math.log2(max(2, math.log2(max(2, delta)))) + 1)
+        rows.append(
+            {
+                "delta": delta,
+                "rounds": result.rounds.total,
+                "passes": result.num_passes,
+                "endgame": result.endgame_nodes,
+                "logC_loglogD": bound,
+            }
+        )
+    return rows
+
+
+def test_t5_rounds_vs_delta(benchmark):
+    rows = benchmark.pedantic(run_delta_sweep, rounds=1, iterations=1)
+    table = Table(
+        "T5 — Theorem 1.3: CLIQUE rounds vs Δ (n = 128)",
+        ["Δ", "rounds", "passes", "endgame nodes", "logC·(loglogΔ+1)"],
+    )
+    for row in rows:
+        table.add_row(
+            row["delta"], row["rounds"], row["passes"],
+            row["endgame"], row["logC_loglogD"],
+        )
+    table.show()
+    # Shape: the measured growth must track the O(log C · log log Δ) bound,
+    # not Δ itself — allow a 2× envelope on the bound's growth ratio.
+    measured_growth = rows[-1]["rounds"] / rows[0]["rounds"]
+    bound_growth = rows[-1]["logC_loglogD"] / rows[0]["logC_loglogD"]
+    assert measured_growth <= 2.0 * bound_growth
+    assert measured_growth < 16 / 2  # and is strongly sublinear in Δ
+
+
+def test_t5_clique_vs_congest(benchmark):
+    """Who wins: on a high-diameter graph the clique must win big."""
+
+    def run():
+        rows = []
+        for n in (32, 64, 128):
+            instance = make_delta_plus_one_instance(gen.cycle_graph(n))
+            clique = solve_list_coloring_clique(instance).rounds.total
+            congest = solve_list_coloring_congest(instance).rounds.total
+            rows.append((n, n // 2, clique, congest, congest / clique))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "T5b — CLIQUE vs CONGEST rounds on cycles (D = n/2)",
+        ["n", "D", "clique rounds", "congest rounds", "speedup"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.show()
+    speedups = [row[4] for row in rows]
+    assert all(s > 1 for s in speedups)
+    # The gap must widen with the diameter.
+    assert speedups[-1] > speedups[0]
+
+
+def test_t5_acceleration_series(benchmark):
+    """F4: bits fixed per phase grow as the uncolored count shrinks."""
+
+    def run():
+        graph = gen.random_regular_graph(192, 4, seed=32)
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_clique(instance, endgame=False)
+        return [
+            (p.active_before, p.bits_per_phase, p.phases, p.rounds)
+            for p in result.passes
+        ]
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "F4 — multi-bit acceleration across passes (n = 192)",
+        ["uncolored before", "bits/phase", "phases", "pass rounds"],
+    )
+    for row in series:
+        table.add_row(*row)
+    table.show()
+    bits = [row[1] for row in series]
+    assert bits == sorted(bits), "bits per phase must be non-decreasing"
+    assert bits[-1] > bits[0], "acceleration never engaged"

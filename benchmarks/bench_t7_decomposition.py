@@ -1,0 +1,117 @@
+"""Experiment T7 / F3 — Theorem 3.1 and Corollary 1.2.
+
+Claims checked:
+* the carving produces an (O(log n), O(log³ n))-decomposition with small
+  measured congestion, validated against Definition 3.1;
+* Corollary 1.2's rounds stay polylog while Theorem 1.1's grow with D
+  (F3 series on cycles, where D = n/2).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import loglog_slope
+from repro.analysis.tables import Table
+from repro.core.instances import make_delta_plus_one_instance
+from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.validation import verify_proper_list_coloring
+from repro.decomposition.decomposed_coloring import solve_list_coloring_polylog
+from repro.decomposition.rozhon_ghaffari import decompose
+from repro.graphs import generators as gen
+
+
+def run_quality():
+    rows = []
+    for name, graph in (
+        ("cycle-128", gen.cycle_graph(128)),
+        ("grid-10x10", gen.grid_graph(10, 10)),
+        ("regular-96", gen.random_regular_graph(96, 3, seed=51)),
+        ("tree-100", gen.random_tree(100, seed=52)),
+    ):
+        decomposition = decompose(graph)  # validates Definition 3.1
+        n = graph.n
+        rows.append(
+            {
+                "graph": name,
+                "n": n,
+                "colors": decomposition.num_colors,
+                "color_bound": math.ceil(math.log2(n)) + 2,
+                "weak_diam": decomposition.weak_diameter(),
+                "diam_bound": math.ceil(math.log2(n)) ** 3,
+                "congestion": decomposition.congestion(),
+                "clusters": len(decomposition.clusters),
+            }
+        )
+    return rows
+
+
+def test_t7_decomposition_quality(benchmark):
+    rows = benchmark.pedantic(run_quality, rounds=1, iterations=1)
+    table = Table(
+        "T7 — Theorem 3.1: decomposition quality (validated Def. 3.1)",
+        ["graph", "n", "colors", "≤ log n + 2", "weak diam", "≤ log³ n",
+         "congestion", "clusters"],
+    )
+    for row in rows:
+        table.add_row(
+            row["graph"], row["n"], row["colors"], row["color_bound"],
+            row["weak_diam"], row["diam_bound"], row["congestion"],
+            row["clusters"],
+        )
+        assert row["colors"] <= row["color_bound"]
+        assert row["weak_diam"] <= row["diam_bound"]
+    table.show()
+
+
+def test_t7_polylog_vs_diameter(benchmark):
+    """F3: rounds vs n on cycles — Theorem 1.1 rides D, Corollary 1.2 doesn't."""
+
+    def run():
+        rows = []
+        for n in (32, 64, 128, 256):
+            instance = make_delta_plus_one_instance(gen.cycle_graph(n))
+            congest = solve_list_coloring_congest(instance)
+            polylog = solve_list_coloring_polylog(instance)
+            verify_proper_list_coloring(instance, polylog.colors)
+            rows.append((n, n // 2, congest.rounds.total, polylog.rounds.total))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "F3 — rounds vs n on cycles (D = n/2): Thm 1.1 vs Cor 1.2",
+        ["n", "D", "Thm 1.1 rounds", "Cor 1.2 rounds"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.show()
+    ns = [row[0] for row in rows]
+    congest_slope = loglog_slope(ns, [row[2] for row in rows])
+    polylog_slope = loglog_slope(ns, [row[3] for row in rows])
+    # Theorem 1.1 grows ~linearly in n here (D = n/2); Corollary 1.2 must
+    # grow strictly slower — that is the whole point of the paper.
+    assert congest_slope > 0.8
+    assert polylog_slope < congest_slope - 0.25
+
+
+def test_t7_crossover(benchmark):
+    """Where Corollary 1.2 starts beating Theorem 1.1 outright."""
+
+    def run():
+        rows = []
+        for n in (32, 64, 128, 256):
+            instance = make_delta_plus_one_instance(gen.cycle_graph(n))
+            congest = solve_list_coloring_congest(instance).rounds.total
+            polylog = solve_list_coloring_polylog(instance).rounds.total
+            rows.append((n, congest, polylog, polylog < congest))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "T7b — crossover: Cor 1.2 wins once D ≫ polylog n",
+        ["n", "Thm 1.1", "Cor 1.2", "Cor 1.2 wins"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.show()
+    assert rows[-1][3], "Corollary 1.2 must win at the largest diameter"

@@ -1,0 +1,106 @@
+"""Experiment T9 — baseline comparison (who wins, and by what mechanism).
+
+Compares on the same instances:
+* the derandomized solver (Theorem 1.1) — deterministic, ≥ 1/8 per pass;
+* the randomized trial-and-keep coloring [Joh99] — fast in expectation,
+  no worst-case guarantee;
+* sequential greedy — the correctness yardstick (zero rounds, inherently
+  sequential);
+* Luby-MIS-based (Δ+1) coloring [Lub86/Lin92] — the classic reduction.
+
+Also regenerates the Eq. (1) table: exact expected conflicts < n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.baselines.greedy import greedy_list_coloring
+from repro.baselines.luby_mis import coloring_via_mis
+from repro.baselines.random_coloring import expected_conflicts, randomized_list_coloring
+from repro.core.instances import make_delta_plus_one_instance
+from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.validation import verify_proper_list_coloring
+from repro.graphs import generators as gen
+
+
+def run_comparison():
+    graph = gen.random_regular_graph(64, 4, seed=71)
+    instance = make_delta_plus_one_instance(graph)
+
+    det = solve_list_coloring_congest(instance)
+    verify_proper_list_coloring(instance, det.colors)
+    det_worst_pass = min(s.fraction for s in det.passes)
+
+    rng = np.random.default_rng(72)
+    rand_rounds = []
+    rand_worst_fraction = 1.0
+    for _ in range(10):
+        _colors, stats = randomized_list_coloring(instance, rng)
+        rand_rounds.append(stats.rounds)
+        fractions = [c / 64 for c in stats.colored_per_round]
+        rand_worst_fraction = min(rand_worst_fraction, min(fractions))
+
+    greedy_colors = greedy_list_coloring(instance)
+    verify_proper_list_coloring(instance, greedy_colors)
+
+    mis_colors, mis_rounds = coloring_via_mis(graph, np.random.default_rng(73))
+
+    return {
+        "det_passes": det.num_passes,
+        "det_worst_fraction": det_worst_pass,
+        "rand_rounds_mean": float(np.mean(rand_rounds)),
+        "rand_rounds_max": int(np.max(rand_rounds)),
+        "rand_worst_fraction": rand_worst_fraction,
+        "mis_rounds": mis_rounds,
+    }
+
+
+def test_t9_head_to_head(benchmark):
+    stats = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table = Table(
+        "T9 — solver comparison (64-node 4-regular, Δ+1 lists)",
+        ["solver", "passes/rounds", "worst per-round colored fraction",
+         "deterministic"],
+    )
+    table.add_row(
+        "Theorem 1.1 (derandomized)", stats["det_passes"],
+        stats["det_worst_fraction"], "yes",
+    )
+    table.add_row(
+        "randomized [Joh99] (10 runs)",
+        f"{stats['rand_rounds_mean']:.1f} (max {stats['rand_rounds_max']})",
+        stats["rand_worst_fraction"], "no",
+    )
+    table.add_row("Luby-MIS reduction", stats["mis_rounds"], "-", "no")
+    table.add_row("sequential greedy", "n (sequential)", "-", "yes")
+    table.show()
+    # The paper's point: the deterministic guarantee (1/8) holds where the
+    # randomized process has no per-round floor.
+    assert stats["det_worst_fraction"] >= 1 / 8 - 1e-9
+
+
+def test_t9_eq1_expected_conflicts(benchmark):
+    """Eq. (1): Σ_v E[X_v] < n exactly, across families."""
+
+    def run():
+        rows = []
+        for name, graph in (
+            ("cycle-64", gen.cycle_graph(64)),
+            ("regular-64-d6", gen.random_regular_graph(64, 6, seed=74)),
+            ("star-32", gen.star_graph(32)),
+            ("grid-8x8", gen.grid_graph(8, 8)),
+        ):
+            instance = make_delta_plus_one_instance(graph)
+            rows.append((name, graph.n, expected_conflicts(instance)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "T9b — Eq. (1): exact expected conflicts (bound: < n)",
+        ["graph", "n", "Σ_v E[X_v]"],
+    )
+    for name, n, value in rows:
+        table.add_row(name, n, value)
+        assert value < n
+    table.show()

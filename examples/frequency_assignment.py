@@ -1,0 +1,78 @@
+"""Scenario: wireless frequency assignment as (degree+1)-list coloring.
+
+Run:  python examples/frequency_assignment.py
+
+Base stations form an interference graph (geometric neighbors interfere).
+Regulation allows each station only a subset of the spectrum — its *list* —
+but every station is guaranteed one more allowed channel than it has
+interferers, which is exactly the paper's (degree+1)-list-coloring setting.
+The deterministic CONGEST algorithm assigns channels so that no two
+interfering stations share one, in O(D·polylog) simulated rounds and
+without any randomness (no retry storms, reproducible plans).
+"""
+
+import numpy as np
+
+from repro import (
+    ListColoringInstance,
+    solve_list_coloring_congest,
+    verify_proper_list_coloring,
+)
+from repro.graphs.graph import Graph
+
+
+def build_interference_graph(num_stations: int, radius: float, seed: int):
+    """Random geometric graph: stations within `radius` interfere."""
+    rng = np.random.default_rng(seed)
+    positions = rng.random((num_stations, 2))
+    edges = []
+    for u in range(num_stations):
+        for v in range(u + 1, num_stations):
+            if np.linalg.norm(positions[u] - positions[v]) < radius:
+                edges.append((u, v))
+    return Graph(num_stations, edges), positions
+
+
+def allowed_channels(graph: Graph, spectrum: int, seed: int):
+    """Per-station regulatory lists: deg+1 channels sampled from the
+    spectrum, biased toward the lower band (licensing cost)."""
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / (1.0 + np.arange(spectrum))
+    weights /= weights.sum()
+    lists = []
+    for v in range(graph.n):
+        need = graph.degree(v) + 1
+        lists.append(
+            rng.choice(spectrum, size=need, replace=False, p=weights)
+        )
+    return lists
+
+
+def main() -> None:
+    spectrum = 48  # channels
+    graph, _positions = build_interference_graph(60, radius=0.22, seed=7)
+    print(
+        f"interference graph: {graph.n} stations, {graph.m} interference "
+        f"pairs, max interferers Δ={graph.max_degree}"
+    )
+    instance = ListColoringInstance(
+        graph, spectrum, allowed_channels(graph, spectrum, seed=8)
+    )
+
+    result = solve_list_coloring_congest(instance)
+    verify_proper_list_coloring(instance, result.colors)
+
+    print(f"assigned channels to all stations in {result.num_passes} passes, "
+          f"{result.rounds.total} simulated rounds")
+    usage = np.bincount(result.colors, minlength=spectrum)
+    busiest = int(np.argmax(usage))
+    print(f"busiest channel: {busiest} ({usage[busiest]} stations)")
+    print(f"channels in use: {int((usage > 0).sum())}/{spectrum}")
+    # Determinism: the plan is reproducible bit for bit.
+    again = solve_list_coloring_congest(instance)
+    assert (again.colors == result.colors).all()
+    print("re-run produced the identical assignment (fully deterministic)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Message-level CONGEST run: every message really sent, sized, checked.
+
+Run:  python examples/message_level_simulation.py
+
+The reference engine charges rounds analytically; this example instead runs
+the *actual* distributed protocol — BFS-tree flooding, Linial reduction,
+per-seed-bit convergecasts, the MIS — as per-node programs exchanging
+tagged messages whose bit-sizes are enforced against the CONGEST budget.
+"""
+
+from repro import make_delta_plus_one_instance, verify_proper_list_coloring
+from repro.congest.runner import run_congest_coloring
+from repro.core.list_coloring import solve_list_coloring_congest
+from repro.graphs import generators
+
+
+def main() -> None:
+    graph = generators.random_regular_graph(n=12, d=3, seed=5)
+    instance = make_delta_plus_one_instance(graph)
+    print(f"graph: n={graph.n}, m={graph.m}, Δ={graph.max_degree}")
+
+    stats = run_congest_coloring(instance)
+    verify_proper_list_coloring(instance, stats.colors)
+
+    print("\nmessage-level simulation (every message routed and size-checked):")
+    print(f"  BFS-tree construction rounds : {stats.bfs_rounds}")
+    print(f"  Linial reduction rounds      : {stats.linial_rounds}"
+          f"  (K = {stats.input_coloring_size} colors)")
+    print(f"  coloring pipeline rounds     : {stats.coloring_rounds}")
+    print(f"  total rounds                 : {stats.total_rounds}")
+    print(f"  messages sent (coloring)     : {stats.messages_sent}")
+    print(f"  largest message              : {stats.max_message_bits} bits "
+          f"(budget {stats.bandwidth_bits} bits)")
+    assert stats.max_message_bits <= stats.bandwidth_bits
+
+    engine = solve_list_coloring_congest(instance)
+    print("\nreference engine on the same instance:")
+    print(f"  charged rounds               : {engine.rounds.total}")
+    print(f"  passes                       : {engine.num_passes}")
+    print("\nboth layers produce verified proper colorings; the simulator is")
+    print("the fidelity check, the engine is the scalable instrument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""One instance, four models: CONGEST, CONGEST+decomposition, CLIQUE, MPC.
+
+Run:  python examples/model_comparison.py
+
+Colors the same high-diameter instance with every solver in the library and
+prints the round comparison — the concrete version of the paper's story:
+Theorem 1.1 pays for the diameter, Corollary 1.2 removes it via network
+decomposition, Theorem 1.3 exploits all-to-all communication, and Theorems
+1.4/1.5 trade rounds against per-machine memory.
+"""
+
+from repro import make_delta_plus_one_instance, verify_proper_list_coloring
+from repro.analysis.tables import Table
+from repro.cliquemodel.coloring import solve_list_coloring_clique
+from repro.core.list_coloring import solve_list_coloring_congest
+from repro.decomposition.decomposed_coloring import solve_list_coloring_polylog
+from repro.graphs import generators
+from repro.mpc.coloring import solve_list_coloring_mpc
+
+
+def main() -> None:
+    graph = generators.cycle_graph(96)  # diameter 48: the hard case
+    instance = make_delta_plus_one_instance(graph)
+    print(f"instance: {graph.n}-cycle, D = {graph.n // 2}, Δ = 2, C = 3\n")
+
+    table = Table(
+        "model comparison (same instance)",
+        ["solver", "model", "rounds", "notes"],
+    )
+
+    congest = solve_list_coloring_congest(instance)
+    verify_proper_list_coloring(instance, congest.colors)
+    table.add_row(
+        "Theorem 1.1", "CONGEST", congest.rounds.total,
+        f"{congest.num_passes} passes, D-dependent",
+    )
+
+    polylog = solve_list_coloring_polylog(instance)
+    verify_proper_list_coloring(instance, polylog.colors)
+    table.add_row(
+        "Corollary 1.2", "CONGEST + net. decomp.", polylog.rounds.total,
+        f"{polylog.num_colors_used_by_decomposition} decomposition colors",
+    )
+
+    clique = solve_list_coloring_clique(instance)
+    verify_proper_list_coloring(instance, clique.colors)
+    table.add_row(
+        "Theorem 1.3", "CONGESTED CLIQUE", clique.rounds.total,
+        f"endgame colored {clique.endgame_nodes} nodes locally",
+    )
+
+    for regime in ("linear", "sublinear"):
+        mpc = solve_list_coloring_mpc(instance, regime=regime)
+        verify_proper_list_coloring(instance, mpc.colors)
+        table.add_row(
+            "Theorem 1.4" if regime == "linear" else "Theorem 1.5",
+            f"MPC ({regime}, S={mpc.memory_words})",
+            mpc.rounds.total,
+            f"{mpc.num_machines} machines, max I/O "
+            f"{max(mpc.max_send_words, mpc.max_receive_words)} ≤ S",
+        )
+
+    table.show()
+    print("all five solvers produced verified proper list colorings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Network decomposition (Theorem 3.1) on a high-diameter graph.
+
+Run:  python examples/network_decomposition_demo.py
+
+Shows the Rozhoň–Ghaffari-style carving at work: a 200-node cycle (diameter
+100) is decomposed into O(log n) color classes of weak-diameter-O(log³ n)
+clusters, each with a validated Steiner tree; then Corollary 1.2 colors the
+graph through the decomposition, diameter-independently.
+"""
+
+import math
+
+from repro import make_delta_plus_one_instance, verify_proper_list_coloring
+from repro.analysis.tables import Table
+from repro.decomposition.decomposed_coloring import solve_list_coloring_polylog
+from repro.decomposition.rozhon_ghaffari import decompose
+from repro.graphs import generators
+
+
+def main() -> None:
+    graph = generators.cycle_graph(200)
+    n = graph.n
+    print(f"graph: {n}-cycle, diameter {n // 2}")
+
+    decomposition = decompose(graph)  # validates Definition 3.1
+    print(
+        f"\ndecomposition: {decomposition.num_colors} colors "
+        f"(bound O(log n) = {math.ceil(math.log2(n)) + 2}), "
+        f"{len(decomposition.clusters)} clusters"
+    )
+    print(
+        f"weak diameter: {decomposition.weak_diameter()} "
+        f"(bound O(log³ n) = {math.ceil(math.log2(n)) ** 3}), "
+        f"congestion κ = {decomposition.congestion()}"
+    )
+
+    table = Table(
+        "clusters by decomposition color",
+        ["color", "clusters", "largest", "max radius"],
+    )
+    by_color: dict = {}
+    for cluster in decomposition.clusters:
+        by_color.setdefault(cluster.color, []).append(cluster)
+    for color in sorted(by_color):
+        clusters = by_color[color]
+        table.add_row(
+            color,
+            len(clusters),
+            max(len(c.nodes) for c in clusters),
+            max(c.radius for c in clusters),
+        )
+    table.show()
+
+    instance = make_delta_plus_one_instance(graph)
+    result = solve_list_coloring_polylog(
+        instance, decomposition=decomposition
+    )
+    verify_proper_list_coloring(instance, result.colors)
+    print(
+        f"Corollary 1.2 colored the graph in {result.rounds.total} rounds — "
+        "polylog(n), despite diameter 100."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduction of *Efficient Deterministic Distributed Coloring with Small
+Bandwidth* (Bamberger, Kuhn, Maus; PODC 2020).
+
+Public API
+----------
+Instances
+    :class:`~repro.core.instances.ListColoringInstance`,
+    :func:`~repro.core.instances.make_delta_plus_one_instance`,
+    :func:`~repro.core.instances.make_random_lists_instance`
+Solvers
+    :func:`~repro.core.list_coloring.solve_list_coloring_congest`
+    (Theorem 1.1),
+    :func:`~repro.decomposition.decomposed_coloring.solve_list_coloring_polylog`
+    (Corollary 1.2),
+    :func:`~repro.cliquemodel.coloring.solve_list_coloring_clique`
+    (Theorem 1.3),
+    :func:`~repro.mpc.coloring.solve_list_coloring_mpc`
+    (Theorems 1.4/1.5)
+Validation
+    :func:`~repro.core.validation.verify_proper_list_coloring`
+Graphs
+    :class:`~repro.graphs.graph.Graph` and the generators in
+    :mod:`repro.graphs.generators`.
+"""
+
+from repro.core.instances import (
+    ListColoringInstance,
+    make_delta_plus_one_instance,
+    make_random_lists_instance,
+)
+from repro.core.list_coloring import ColoringResult, solve_list_coloring_congest
+from repro.core.validation import (
+    verify_proper_coloring,
+    verify_proper_list_coloring,
+)
+from repro.graphs.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "ListColoringInstance",
+    "ColoringResult",
+    "make_delta_plus_one_instance",
+    "make_random_lists_instance",
+    "solve_list_coloring_congest",
+    "verify_proper_coloring",
+    "verify_proper_list_coloring",
+    "__version__",
+]

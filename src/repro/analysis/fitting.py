@@ -1,0 +1,44 @@
+"""Shape checks for complexity claims.
+
+The paper's claims are asymptotic; the experiments verify *shapes*: a
+quantity claimed O(f(n)) must grow no faster than f (up to constants) over
+the measured sweep.  These helpers implement the two checks the benchmarks
+use: log-log slope estimation and bound-ratio monotonicity.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["loglog_slope", "growth_ratio", "bounded_by"]
+
+
+def loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    A quantity in Θ(x^c) has slope ≈ c; the benchmarks assert measured
+    slopes stay below the claimed exponent plus a tolerance.
+    """
+    pairs = [(math.log(x), math.log(y)) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points")
+    n = len(pairs)
+    mx = sum(p[0] for p in pairs) / n
+    my = sum(p[1] for p in pairs) / n
+    num = sum((p[0] - mx) * (p[1] - my) for p in pairs)
+    den = sum((p[0] - mx) ** 2 for p in pairs)
+    if den == 0:
+        raise ValueError("x values are all equal")
+    return num / den
+
+
+def growth_ratio(values) -> float:
+    """last/first — how much a series grew over a sweep."""
+    if not values or values[0] == 0:
+        raise ValueError("series must start with a positive value")
+    return values[-1] / values[0]
+
+
+def bounded_by(measured, bound, slack: float = 1.0) -> bool:
+    """True if measured ≤ slack · bound pointwise."""
+    return all(m <= slack * b for m, b in zip(measured, bound))

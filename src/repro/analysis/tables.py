@@ -1,0 +1,56 @@
+"""Table rendering for the experiment harness.
+
+Every benchmark regenerates a table or figure-series from DESIGN.md §3 and
+prints it through :class:`Table`, so the rows recorded in EXPERIMENTS.md can
+be reproduced by running the corresponding benchmark.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A fixed-column text table (printed into benchmark output)."""
+
+    def __init__(self, title: str, columns: list):
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows), 1)
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

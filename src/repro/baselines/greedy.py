@@ -1,0 +1,53 @@
+"""Sequential greedy list coloring — the classic baseline (Section 1).
+
+The paper's opening observation: (degree+1)-list coloring admits a trivial
+sequential greedy algorithm.  It is the correctness yardstick for every
+distributed solver here, and the T9 experiment's "zero communication /
+linear time" reference point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instances import ListColoringInstance
+from repro.graphs.graph import Graph
+
+__all__ = ["greedy_list_coloring", "greedy_delta_plus_one"]
+
+
+def greedy_list_coloring(
+    instance: ListColoringInstance, order: np.ndarray | None = None
+) -> np.ndarray:
+    """Color nodes in ``order`` (default: by id), each taking the first
+    free color of its list.  Always succeeds because |L(v)| ≥ deg(v)+1.
+    """
+    graph = instance.graph
+    colors = np.full(graph.n, -1, dtype=np.int64)
+    if order is None:
+        order = np.arange(graph.n)
+    for v in order:
+        v = int(v)
+        taken = {int(colors[u]) for u in graph.neighbors(v) if colors[u] != -1}
+        for c in instance.lists[v]:
+            if int(c) not in taken:
+                colors[v] = int(c)
+                break
+        else:  # unreachable for valid instances
+            raise AssertionError(f"greedy found no free color for node {v}")
+    return colors
+
+
+def greedy_delta_plus_one(graph: Graph, order: np.ndarray | None = None) -> np.ndarray:
+    """Greedy (Δ+1)-coloring with the smallest-free-color rule."""
+    colors = np.full(graph.n, -1, dtype=np.int64)
+    if order is None:
+        order = np.arange(graph.n)
+    for v in order:
+        v = int(v)
+        taken = {int(colors[u]) for u in graph.neighbors(v) if colors[u] != -1}
+        c = 0
+        while c in taken:
+            c += 1
+        colors[v] = c
+    return colors

@@ -1,0 +1,71 @@
+"""The CONGEST model: synchronous rounds, O(log n)-bit messages.
+
+``bandwidth_bits(n)`` is the per-edge, per-round message budget (the paper's
+O(log n) with an explicit constant).  :func:`message_bits` measures the size
+of the Python values node programs exchange, so the simulator can *reject*
+any algorithm that exceeds the model's bandwidth — model fidelity is checked
+at runtime, not assumed.
+
+Size accounting: integers cost their two's-complement width, floats cost 64
+bits (the paper's aggregated conditional expectations are O(log n)-bit
+rationals; we ship float64 and charge for it), tuples/lists cost the sum of
+their parts.  Strings and arbitrary objects are rejected: CONGEST messages
+must be explicit, bounded machine words.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["message_bits", "bandwidth_bits", "BandwidthExceeded", "CongestSpec"]
+
+
+DEFAULT_BANDWIDTH_FACTOR = 16  # messages of 16·⌈log2 n⌉ bits, i.e. O(log n)
+
+
+class BandwidthExceeded(RuntimeError):
+    """An algorithm tried to send a message larger than the CONGEST budget."""
+
+
+def bandwidth_bits(n: int, factor: int = DEFAULT_BANDWIDTH_FACTOR) -> int:
+    """Per-message bit budget for an n-node network: factor · ⌈log2 n⌉."""
+    return factor * max(1, math.ceil(math.log2(max(2, n))))
+
+
+def message_bits(value) -> int:
+    """Size of a message value in bits (see module docstring)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, value.bit_length() + 1)
+    if isinstance(value, float):
+        return 64
+    if isinstance(value, (tuple, list)):
+        return sum(message_bits(item) for item in value) + len(value)
+    raise TypeError(
+        f"CONGEST messages must be ints/floats/bools/tuples, got {type(value)}"
+    )
+
+
+@dataclass(frozen=True)
+class CongestSpec:
+    """Bandwidth configuration for a simulation run."""
+
+    n: int
+    factor: int = DEFAULT_BANDWIDTH_FACTOR
+
+    @property
+    def bits_per_message(self) -> int:
+        return bandwidth_bits(self.n, self.factor)
+
+    def check(self, sender: int, receiver: int, value) -> None:
+        used = message_bits(value)
+        budget = self.bits_per_message
+        if used > budget:
+            raise BandwidthExceeded(
+                f"message {sender}->{receiver} uses {used} bits, budget is "
+                f"{budget} bits ({self.factor}·⌈log n⌉)"
+            )

@@ -1,0 +1,223 @@
+"""Node-program building blocks for the CONGEST simulator.
+
+Programs are written as Python generators: ``yield outbox`` sends messages
+and suspends until the next round, whose inbox is the value of the yield.
+:class:`GeneratorProgram` adapts a generator to the simulator's
+``on_start``/``on_round`` interface.
+
+Messages are tagged tuples ``(tag, seq, payload)`` so logically distinct
+stages never collide: because tree-shallow nodes can race ahead of deep
+ones, a node may receive messages for a *future* stage while still finishing
+the current one.  :class:`MessageBuffer` parks early messages per
+``(tag, seq, sender)``.
+
+The tree primitives (:func:`convergecast`, :func:`broadcast_from_root`) are
+event-driven — a node sends its partial aggregate to its parent as soon as
+all children reported, the root answers down the tree — so no node needs
+global knowledge of the tree depth, and the whole exchange costs exactly
+(tree height) rounds up plus (tree height) rounds down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = [
+    "GeneratorProgram",
+    "MessageBuffer",
+    "exchange",
+    "convergecast",
+    "broadcast_from_root",
+    "bfs_program",
+]
+
+# Message tags.
+TAG_BFS = 0
+TAG_ADOPT = 1
+TAG_EXCHANGE = 2
+TAG_AGG = 3
+TAG_DECIDE = 4
+
+
+class GeneratorProgram:
+    """Adapts ``generator_fn(ctx) -> generator`` to the simulator API."""
+
+    def __init__(self, generator_fn: Callable):
+        self._fn = generator_fn
+        self._gen = None
+
+    def on_start(self, ctx) -> dict:
+        self._gen = self._fn(ctx)
+        try:
+            return next(self._gen) or {}
+        except StopIteration:
+            ctx.done = True
+            return {}
+
+    def on_round(self, ctx, inbox: dict) -> dict:
+        if ctx.done:
+            return {}
+        try:
+            return self._gen.send(inbox) or {}
+        except StopIteration:
+            ctx.done = True
+            return {}
+
+
+class MessageBuffer:
+    """Collects tagged messages, tolerating arrival before they are awaited."""
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+
+    def put_all(self, inbox: dict) -> None:
+        for sender, message in inbox.items():
+            tag, seq, payload = message
+            self._store.setdefault((tag, seq), {})[sender] = payload
+
+    def try_take(self, tag: int, seq: int, senders: Iterable[int]):
+        """Return ``{sender: payload}`` if all ``senders`` reported, else None."""
+        wanted = set(senders)
+        have = self._store.get((tag, seq), {})
+        if wanted <= set(have):
+            taken = {s: have.pop(s) for s in wanted}
+            if not have:
+                self._store.pop((tag, seq), None)
+            return taken
+        return None
+
+
+def exchange(buffer: MessageBuffer, seq: int, peers: list, payload):
+    """Coroutine: send ``payload`` to all peers, gather their payloads.
+
+    Yields outboxes; returns ``{peer: payload}`` once every peer reported.
+    """
+    outbox = {p: (TAG_EXCHANGE, seq, payload) for p in peers}
+    inbox = yield outbox
+    buffer.put_all(inbox)
+    while True:
+        got = buffer.try_take(TAG_EXCHANGE, seq, peers)
+        if got is not None:
+            return got
+        inbox = yield {}
+        buffer.put_all(inbox)
+
+
+def convergecast(
+    buffer: MessageBuffer,
+    seq: int,
+    parent: int | None,
+    children: list,
+    value,
+    combine: Callable,
+    decide: Callable | None = None,
+):
+    """Coroutine: aggregate ``value`` up the tree, broadcast a decision down.
+
+    Non-root nodes send ``combine(value, children values)`` to their parent
+    and then wait for the decision flowing down; the root applies ``decide``
+    to the total and the decision is returned at every node.  ``decide`` may
+    be None at non-roots.
+    """
+    inbox = None
+    # Gather children contributions.
+    while True:
+        got = buffer.try_take(TAG_AGG, seq, children)
+        if got is not None:
+            break
+        inbox = yield {}
+        buffer.put_all(inbox)
+    total = value
+    for child_value in got.values():
+        total = combine(total, child_value)
+
+    if parent is None:
+        decision = decide(total)
+        if children:
+            inbox = yield {c: (TAG_DECIDE, seq, decision) for c in children}
+            buffer.put_all(inbox)
+        return decision
+
+    inbox = yield {parent: (TAG_AGG, seq, total)}
+    buffer.put_all(inbox)
+    while True:
+        got = buffer.try_take(TAG_DECIDE, seq, [parent])
+        if got is not None:
+            decision = got[parent]
+            break
+        inbox = yield {}
+        buffer.put_all(inbox)
+    if children:
+        inbox = yield {c: (TAG_DECIDE, seq, decision) for c in children}
+        buffer.put_all(inbox)
+    return decision
+
+
+def broadcast_from_root(buffer, seq, parent, children, value=None):
+    """Coroutine: root's ``value`` is delivered to every node via the tree."""
+    if parent is None:
+        if children:
+            inbox = yield {c: (TAG_DECIDE, seq, value) for c in children}
+            buffer.put_all(inbox)
+        return value
+    while True:
+        got = buffer.try_take(TAG_DECIDE, seq, [parent])
+        if got is not None:
+            value = got[parent]
+            break
+        inbox = yield {}
+        buffer.put_all(inbox)
+    if children:
+        inbox = yield {c: (TAG_DECIDE, seq, value) for c in children}
+        buffer.put_all(inbox)
+    return value
+
+
+def bfs_program(root: int):
+    """Program factory: BFS tree construction by flooding.
+
+    After the run, each context's ``shared['bfs'][node]`` holds
+    ``(parent, depth, children)``.  The root has parent -1.  Takes
+    eccentricity(root) + 2 rounds (flood + child adoption notices).
+    """
+
+    def algo(ctx):
+        results = ctx.shared.setdefault("bfs", {})
+        me = ctx.node
+        if me == root:
+            parent, depth = -1, 0
+            inbox = yield {v: (TAG_BFS, 0, 0) for v in ctx.neighbors}
+        else:
+            parent, depth = None, None
+            inbox = yield {}
+        # Wait for the flood (non-root), then forward once.  All flood
+        # messages of a round carry the same distance (synchronous BFS);
+        # adopt the smallest-id sender for determinism.
+        while parent is None:
+            announcers = sorted(
+                (sender, dist)
+                for sender, (tag, _seq, dist) in inbox.items()
+                if tag == TAG_BFS
+            )
+            if announcers:
+                parent, depth = announcers[0][0], announcers[0][1] + 1
+            else:
+                inbox = yield {}
+        if me != root:
+            outbox = {
+                v: (TAG_BFS, 0, depth) for v in ctx.neighbors if v != parent
+            }
+            outbox[parent] = (TAG_ADOPT, 0, 0)
+            inbox = yield outbox
+        # Children adopt in the round right after our forward; their ADOPT
+        # notices arrive exactly two rounds after our own adoption.
+        children = sorted(
+            s for s, (tag, _seq, _x) in inbox.items() if tag == TAG_ADOPT
+        )
+        inbox = yield {}
+        children += sorted(
+            s for s, (tag, _seq, _x) in inbox.items() if tag == TAG_ADOPT
+        )
+        results[me] = (parent, depth, tuple(sorted(set(children))))
+
+    return algo

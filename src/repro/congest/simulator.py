@@ -1,0 +1,131 @@
+"""Synchronous message-passing kernel for the CONGEST model.
+
+Node programs are objects with two hooks:
+
+* ``on_start(ctx) -> outbox`` — called once before round 1;
+* ``on_round(ctx, inbox) -> outbox`` — called every round with the messages
+  delivered this round (``{neighbor_id: value}``); returns the messages to
+  send (``{neighbor_id: value}``).
+
+A program signals completion by setting ``ctx.done = True``; the simulation
+ends when every node is done and no messages are in flight.  Every message
+is size-checked against the CONGEST bandwidth (see
+:mod:`repro.congest.model`); oversized messages abort the run.
+
+``ctx.shared`` is a dictionary shared by all nodes *for instrumentation
+only* — programs must not use it to communicate (tests enforce the round
+counts, which would be impossible to fake through shared state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.congest.model import CongestSpec
+from repro.graphs.graph import Graph
+
+__all__ = ["NodeContext", "SyncSimulator", "SimulationResult"]
+
+
+@dataclass
+class NodeContext:
+    """Per-node view of the network handed to programs."""
+
+    node: int
+    neighbors: tuple
+    n: int
+    done: bool = False
+    shared: dict = field(default_factory=dict)
+
+
+@dataclass
+class SimulationResult:
+    rounds: int
+    messages_sent: int
+    max_message_bits: int
+    contexts: list
+
+
+class SyncSimulator:
+    """Runs a set of node programs on a graph, round by round."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        programs: list,
+        bandwidth_factor: int = 16,
+        max_rounds: int = 1_000_000,
+    ):
+        if len(programs) != graph.n:
+            raise ValueError(
+                f"need one program per node: {len(programs)} != {graph.n}"
+            )
+        self.graph = graph
+        self.programs = programs
+        self.spec = CongestSpec(n=graph.n, factor=bandwidth_factor)
+        self.max_rounds = max_rounds
+        shared: dict = {}
+        self.contexts = [
+            NodeContext(
+                node=v,
+                neighbors=tuple(int(u) for u in graph.neighbors(v)),
+                n=graph.n,
+                shared=shared,
+            )
+            for v in range(graph.n)
+        ]
+        self.rounds = 0
+        self.messages_sent = 0
+        self.max_message_bits = 0
+
+    def _collect(self, sender: int, outbox) -> list:
+        """Validate an outbox and return (receiver, value) pairs."""
+        if not outbox:
+            return []
+        deliveries = []
+        neighbor_set = self.contexts[sender].neighbors
+        for receiver, value in outbox.items():
+            if receiver not in neighbor_set:
+                raise ValueError(
+                    f"node {sender} tried to message non-neighbor {receiver}"
+                )
+            self.spec.check(sender, receiver, value)
+            from repro.congest.model import message_bits
+
+            self.max_message_bits = max(self.max_message_bits, message_bits(value))
+            deliveries.append((receiver, sender, value))
+        return deliveries
+
+    def run(self) -> SimulationResult:
+        # Round 0: on_start.
+        pending: list = []
+        for v, program in enumerate(self.programs):
+            outbox = program.on_start(self.contexts[v])
+            pending.extend(self._collect(v, outbox))
+
+        while True:
+            all_done = all(ctx.done for ctx in self.contexts)
+            if all_done and not pending:
+                break
+            if self.rounds >= self.max_rounds:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_rounds} rounds"
+                )
+            self.rounds += 1
+            inboxes: dict = {v: {} for v in range(self.graph.n)}
+            for receiver, sender, value in pending:
+                inboxes[receiver][sender] = value
+            self.messages_sent += len(pending)
+            pending = []
+            for v, program in enumerate(self.programs):
+                outbox = program.on_round(self.contexts[v], inboxes[v])
+                pending.extend(self._collect(v, outbox))
+
+        return SimulationResult(
+            rounds=self.rounds,
+            messages_sent=self.messages_sent,
+            max_message_bits=self.max_message_bits,
+            contexts=self.contexts,
+        )

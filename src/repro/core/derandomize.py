@@ -1,0 +1,144 @@
+"""Method of conditional expectations over the shared seed (Lemma 2.6).
+
+The randomized one-bit prefix extension (Algorithm 1) driven by the biased
+coins of Lemma 2.5 uses a shared random seed of d = m + b bits (s1 followed
+by σ, most significant bit first).  Derandomization fixes the seed bit by
+bit: for each bit, the conditional expectation of the potential given the
+already-fixed prefix and either value of the next bit is computed, and the
+smaller branch is kept — Eq. (7) of the paper.
+
+Because :class:`~repro.core.potential.PhaseEstimator` produces the full
+conditional-value arrays (``val1[s1]`` = E[potential | s1], ``val2[σ]`` =
+exact potential given (s1, σ)), the conditional expectation after fixing any
+bit prefix is simply the mean of the corresponding contiguous block, and the
+greedy bit choice is exact — no sampling, no approximation beyond the coin
+rounding that Lemma 2.3 already accounts for.
+
+In the CONGEST model each bit costs one aggregation + one broadcast over a
+BFS tree (O(D) rounds); in the CONGESTED CLIQUE / MPC models whole λ-bit
+*segments* are fixed in O(1) rounds (Theorems 1.3–1.5).  Both cost models
+consume the same :class:`SeedChoice`; only the round accounting differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.potential import PhaseEstimator
+
+__all__ = ["SeedChoice", "fix_bits_greedily", "derandomize_phase"]
+
+
+@dataclass
+class SeedChoice:
+    """Outcome of derandomizing one prefix-extension phase."""
+
+    s1: int
+    sigma: int
+    s1_bits: int
+    sigma_bits: int
+    initial_expectation: float
+    final_value: float
+    #: Conditional expectation after fixing each seed bit (Eq. (7) trace);
+    #: length = s1_bits + sigma_bits, non-increasing.
+    conditional_trace: list = field(default_factory=list)
+
+    @property
+    def seed_bits(self) -> int:
+        return self.s1_bits + self.sigma_bits
+
+
+def fix_bits_greedily(values: np.ndarray) -> tuple[int, list[float]]:
+    """Fix the bits of an index into ``values`` by greedy block means.
+
+    ``values[i]`` is the conditional expectation given the seed equals i
+    exactly; ``len(values)`` must be a power of two.  Returns the chosen
+    index and the trace of conditional expectations after each bit (the
+    mean over the surviving block), which is non-increasing by the law of
+    total expectation.
+    """
+    size = len(values)
+    if size & (size - 1):
+        raise ValueError(f"conditional-value array length {size} is not a power of 2")
+    # Prefix sums let every block mean be computed in O(1).
+    prefix = np.concatenate([[0.0], np.cumsum(values, dtype=np.float64)])
+
+    def block_mean(lo: int, length: int) -> float:
+        return (prefix[lo + length] - prefix[lo]) / length
+
+    lo = 0
+    trace: list[float] = []
+    while size > 1:
+        half = size // 2
+        mean0 = block_mean(lo, half)
+        mean1 = block_mean(lo + half, half)
+        if mean1 < mean0:
+            lo += half
+            trace.append(mean1)
+        else:
+            trace.append(mean0)
+        size = half
+    return lo, trace
+
+
+def derandomize_phase(
+    estimator: PhaseEstimator,
+    chunk_size: int = 512,
+    strict: bool = True,
+) -> SeedChoice:
+    """Choose a good seed for one phase (Lemma 2.6).
+
+    Computes ``val1[s1]`` for all 2^m multiplicative seeds (in chunks, to
+    bound memory), greedily fixes the m bits of s1, then computes the exact
+    ``val2[σ]`` array and fixes the b bits of σ.  When ``strict``, internal
+    consistency (mean of val2 equals val1 at the chosen s1; Eq. (7)
+    monotonicity; final ≤ initial expectation) is asserted.
+    """
+    m = estimator.family.m
+    b = estimator.b
+    order = 1 << m
+
+    val1 = np.empty(order, dtype=np.float64)
+    for start in range(0, order, chunk_size):
+        stop = min(order, start + chunk_size)
+        val1[start:stop] = estimator.expected_by_s1(
+            np.arange(start, stop, dtype=np.int64)
+        )
+    initial = float(val1.mean())
+    s1, trace1 = fix_bits_greedily(val1)
+
+    val2 = estimator.exact_by_sigma(int(s1))
+    if strict and estimator.num_edges:
+        agreement = abs(float(val2.mean()) - float(val1[s1]))
+        tolerance = 1e-9 * max(1.0, abs(float(val1[s1])))
+        if agreement > tolerance:
+            raise AssertionError(
+                f"estimator inconsistency: mean(val2)={val2.mean()} vs "
+                f"val1[s1]={val1[s1]}"
+            )
+    sigma, trace2 = fix_bits_greedily(val2)
+    final = float(val2[sigma])
+
+    trace = trace1 + trace2
+    if strict:
+        previous = initial
+        for value in trace:
+            if value > previous + 1e-9 * max(1.0, abs(previous)):
+                raise AssertionError(
+                    "Eq. (7) violated: conditional expectation increased"
+                )
+            previous = value
+        if final > initial + 1e-9 * max(1.0, abs(initial)):
+            raise AssertionError("final potential exceeds its expectation")
+
+    return SeedChoice(
+        s1=int(s1),
+        sigma=int(sigma),
+        s1_bits=m,
+        sigma_bits=b,
+        initial_expectation=initial,
+        final_value=final,
+        conditional_trace=trace,
+    )

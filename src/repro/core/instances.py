@@ -1,0 +1,136 @@
+"""(degree+1)-list-coloring instances (Section 2, Observation 4.1).
+
+An instance is a graph together with a color space ``[C] = {0, .., C-1}``
+and, per node v, a color list ``L(v) ⊆ [C]`` with ``|L(v)| ≥ deg(v) + 1``.
+The paper assumes ``C = poly(n)`` so a color fits in O(1) CONGEST messages;
+the constructors here enforce that and the solvers check it.
+
+``make_delta_plus_one_instance`` implements Observation 4.1: the classic
+(Δ+1)-coloring problem reduces to (degree+1)-list coloring by giving node v
+the list ``{0, .., deg(v)}`` over the color space ``[Δ+1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "ListColoringInstance",
+    "make_delta_plus_one_instance",
+    "make_random_lists_instance",
+]
+
+
+def ceil_log2(x: int) -> int:
+    """⌈log2 x⌉ for x >= 1 (0 for x = 1)."""
+    if x < 1:
+        raise ValueError(f"ceil_log2 requires x >= 1, got {x}")
+    return int(x - 1).bit_length()
+
+
+@dataclass
+class ListColoringInstance:
+    """A (degree+1)-list-coloring instance.
+
+    Attributes
+    ----------
+    graph:
+        The communication graph G = (V, E).
+    color_space:
+        The size C of the global color space [C].
+    lists:
+        ``lists[v]`` is a sorted int64 array of the colors in L(v).
+    """
+
+    graph: Graph
+    color_space: int
+    lists: list = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.lists = [np.asarray(sorted(set(map(int, lst))), dtype=np.int64) for lst in self.lists]
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the instance is well-formed."""
+        g = self.graph
+        if len(self.lists) != g.n:
+            raise ValueError(
+                f"expected {g.n} color lists, got {len(self.lists)}"
+            )
+        if self.color_space < 1:
+            raise ValueError(f"color space must be >= 1, got {self.color_space}")
+        for v in range(g.n):
+            lst = self.lists[v]
+            if len(lst) < g.degree(v) + 1:
+                raise ValueError(
+                    f"node {v}: list size {len(lst)} < deg+1 = {g.degree(v) + 1}"
+                )
+            if len(lst) and (lst[0] < 0 or lst[-1] >= self.color_space):
+                raise ValueError(
+                    f"node {v}: colors outside the color space [{self.color_space}]"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def color_bits(self) -> int:
+        """⌈log C⌉ — the number of prefix-extension phases."""
+        return max(1, ceil_log2(self.color_space))
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def list_sizes(self) -> np.ndarray:
+        return np.array([len(lst) for lst in self.lists], dtype=np.int64)
+
+    def copy_lists(self) -> list:
+        return [lst.copy() for lst in self.lists]
+
+    def restrict(self, nodes) -> tuple["ListColoringInstance", np.ndarray]:
+        """Induced sub-instance on ``nodes`` (lists are copied unchanged).
+
+        Note: the caller is responsible for having already pruned lists so
+        the (degree+1) condition holds on the subgraph — which it always
+        does when restricting to uncolored nodes, since dropping a neighbor
+        can only help.
+        """
+        sub, original = self.graph.induced_subgraph(nodes)
+        sub_lists = [self.lists[int(orig)].copy() for orig in original]
+        return (
+            ListColoringInstance(sub, self.color_space, sub_lists),
+            original,
+        )
+
+
+def make_delta_plus_one_instance(graph: Graph) -> ListColoringInstance:
+    """Observation 4.1: reduce (Δ+1)-coloring to (degree+1)-list coloring."""
+    delta = graph.max_degree
+    lists = [np.arange(graph.degree(v) + 1, dtype=np.int64) for v in range(graph.n)]
+    return ListColoringInstance(graph, delta + 1, lists)
+
+
+def make_random_lists_instance(
+    graph: Graph,
+    color_space: int,
+    rng: np.random.Generator,
+    slack: int = 0,
+) -> ListColoringInstance:
+    """Random (degree+1+slack)-size lists drawn from ``[color_space]``.
+
+    Used by tests and benchmarks to build adversarial-ish list-coloring
+    workloads; the list-size lower bound ``deg(v)+1`` is always respected.
+    """
+    lists = []
+    for v in range(graph.n):
+        size = graph.degree(v) + 1 + slack
+        if size > color_space:
+            raise ValueError(
+                f"node {v} needs {size} colors but the space has only {color_space}"
+            )
+        lists.append(rng.choice(color_space, size=size, replace=False))
+    return ListColoringInstance(graph, color_space, lists)

@@ -1,0 +1,157 @@
+"""One partial-coloring pass: Lemma 2.1.
+
+Runs the derandomized prefix extension until every node holds a single
+candidate color, then permanently colors an independent set of low-conflict
+nodes:
+
+* standard variant — nodes with conflict degree ≤ 3 (potential < 4) form a
+  max-degree-3 subgraph of the conflict graph; an MIS of it (via Linial +
+  color classes, O(log* K) rounds) keeps its candidate colors.  At least a
+  1/8 fraction of all nodes is colored.
+* ``avoid_mis`` variant (Section 4, "How to avoid MIS") — coins are produced
+  with an extra (Δ+1) accuracy factor so the final potential is below n;
+  at least half the nodes then have at most one conflict and the higher id
+  of each conflicting pair wins, a 1-round MIS.  At least a 1/4 fraction is
+  colored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instances import ListColoringInstance, ceil_log2
+from repro.core.prefix import PrefixResult, extend_prefixes
+from repro.engine.rounds import RoundLedger
+from repro.graphs.graph import Graph
+from repro.substrates.mis import mis_bounded_degree
+
+__all__ = ["PartialColoringOutcome", "partial_coloring_pass"]
+
+
+@dataclass
+class PartialColoringOutcome:
+    """Result of one Lemma 2.1 pass on an instance."""
+
+    colors: np.ndarray  #: per node, the permanent color or -1
+    colored_count: int
+    fraction: float
+    prefix: PrefixResult
+    mis_rounds: int
+    eligible_count: int  #: |V_{<4}| (or |V_{≤1}| in the avoid-MIS variant)
+
+
+def _charge_congest_rounds(
+    ledger: RoundLedger | None,
+    prefix: PrefixResult,
+    comm_depth: int,
+    mis_rounds: int,
+) -> None:
+    """CONGEST round accounting for one pass (Lemma 2.6 / Lemma 2.1).
+
+    Per phase: the (k-values, ψ) neighbor exchange — an r-bit phase ships
+    2^r bucket counts per edge, and a CONGEST message carries O(1) of them,
+    so the exchange costs ⌈2^r / 2⌉ rounds (1 for the paper's r = 1);
+    then one aggregation + broadcast over the BFS tree per seed bit; then
+    one round to announce the chosen bucket.  The MIS adds its Linial
+    iterations and color-class rounds.
+    """
+    if ledger is None:
+        return
+    per_bit = 2 * max(1, comm_depth) + 1
+    for record in prefix.phases:
+        count_words = 1 << record.r
+        ledger.charge("exchange", 1 + (count_words + 1) // 2)
+        ledger.charge("seed_fixing", record.seed_bits * per_bit)
+    ledger.charge("mis", mis_rounds)
+
+
+def partial_coloring_pass(
+    instance: ListColoringInstance,
+    psi: np.ndarray,
+    num_input_colors: int,
+    comm_depth: int = 1,
+    ledger: RoundLedger | None = None,
+    r_schedule=None,
+    avoid_mis: bool = False,
+    strict: bool = True,
+    rng: np.random.Generator | None = None,
+) -> PartialColoringOutcome:
+    """Color at least 1/8 of the nodes of ``instance`` (Lemma 2.1)."""
+    graph = instance.graph
+    n = graph.n
+    colors = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return PartialColoringOutcome(colors, 0, 0.0, PrefixResult(
+            candidates=np.empty(0, dtype=np.int64),
+            conflict_degrees=np.empty(0, dtype=np.int64),
+            conflict_edges_u=np.empty(0, dtype=np.int64),
+            conflict_edges_v=np.empty(0, dtype=np.int64),
+        ), 0, 0)
+
+    strengthen = graph.max_degree + 1 if avoid_mis else 1
+    prefix = extend_prefixes(
+        instance,
+        psi,
+        num_input_colors,
+        r_schedule=r_schedule,
+        strengthen=strengthen,
+        strict=strict,
+        rng=rng,
+    )
+
+    threshold = 1 if avoid_mis else 3
+    eligible = prefix.conflict_degrees <= threshold
+    eligible_ids = np.flatnonzero(eligible)
+
+    # Conflict subgraph restricted to eligible nodes.
+    if len(prefix.conflict_edges_u):
+        keep = eligible[prefix.conflict_edges_u] & eligible[prefix.conflict_edges_v]
+        sub_u = prefix.conflict_edges_u[keep]
+        sub_v = prefix.conflict_edges_v[keep]
+    else:
+        sub_u = sub_v = np.empty(0, dtype=np.int64)
+
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[eligible_ids] = np.arange(len(eligible_ids))
+    conflict_sub = Graph(
+        len(eligible_ids), zip(remap[sub_u], remap[sub_v])
+    )
+
+    if avoid_mis:
+        # Conflict degree ≤ 1: the higher id of each conflicting pair joins;
+        # isolated eligible nodes join.  One CONGEST round.
+        members = np.ones(len(eligible_ids), dtype=bool)
+        for u, v in zip(remap[sub_u], remap[sub_v]):
+            members[min(u, v)] = False
+        mis_rounds = 1
+    else:
+        mis = mis_bounded_degree(
+            conflict_sub, psi[eligible_ids], num_input_colors
+        )
+        members = mis.members
+        mis_rounds = mis.rounds
+
+    winners = eligible_ids[members]
+    colors[winners] = prefix.candidates[winners]
+    colored = len(winners)
+
+    if strict and rng is None:
+        # Deterministic guarantee only; the randomized variant achieves the
+        # bound in expectation (Lemmas 2.2/2.3), not per run.
+        required = n / 8.0
+        if colored < required - 1e-9:
+            raise AssertionError(
+                f"Lemma 2.1 violated: colored {colored} < n/8 = {n / 8}"
+            )
+
+    _charge_congest_rounds(ledger, prefix, comm_depth, mis_rounds)
+    return PartialColoringOutcome(
+        colors=colors,
+        colored_count=colored,
+        fraction=colored / n,
+        prefix=prefix,
+        mis_rounds=mis_rounds,
+        eligible_count=int(eligible.sum()),
+    )

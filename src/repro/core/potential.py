@@ -1,0 +1,225 @@
+"""The potential function Φ and the pessimistic edge estimator (Section 2).
+
+For node u at the end of phase ℓ the paper defines
+
+    Φ_ℓ(u) = deg_ℓ(u) / |L_ℓ(u)|
+
+(deg_ℓ = degree in the remaining conflict graph G_ℓ, L_ℓ = candidate colors
+consistent with the chosen prefix) and rewrites the sum of potentials
+edge-wise:
+
+    Σ_u Φ_ℓ(u) = Σ_{e = {u,v} ∈ E_ℓ} X_e,
+    X_e = 1_{e ∈ E_ℓ} (1/|L_ℓ(u)| + 1/|L_ℓ(v)|).
+
+:class:`PhaseEstimator` evaluates, for one r-bit prefix-extension phase,
+
+* ``expected_by_s1``  — E[Σ_e X_e | s1] for every multiplicative seed s1
+  (expectation over the uniform additive seed σ), via the exact counting DP
+  of :mod:`repro.core.counting`;
+* ``exact_by_sigma``  — the exact value of Σ_e X_e for every σ once s1 is
+  fixed.
+
+These two arrays are all the method of conditional expectations needs: the
+conditional expectation after fixing any prefix of seed bits is the mean of
+the corresponding block (Lemma 2.6 / Eq. (7)).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.counting import count_xor_below, count_xor_in_intervals
+from repro.hashing.coins import bucket_thresholds
+from repro.hashing.pairwise import PairwiseFamily
+
+__all__ = ["PhaseEstimator", "potential_sum", "accuracy_bits"]
+
+
+def potential_sum(conflict_degrees: np.ndarray, list_sizes: np.ndarray) -> float:
+    """Σ_u deg(u)/|L(u)| over all nodes (vectorized, exact in float64)."""
+    sizes = np.asarray(list_sizes, dtype=np.float64)
+    if (sizes <= 0).any():
+        raise ValueError("list sizes must be positive")
+    return float((np.asarray(conflict_degrees, dtype=np.float64) / sizes).sum())
+
+
+def accuracy_bits(
+    max_degree: int, color_bits: int, r: int = 1, strengthen: int = 1
+) -> int:
+    """The coin accuracy b of Lemma 2.6, generalized to r-bit extensions.
+
+    For r = 1 this is exactly the paper's ``b = ⌈log(10·Δ·⌈log C⌉)⌉``
+    (per-phase potential increase 10εΔn ≤ n/⌈log C⌉).  For an r-bit
+    extension the generalized Lemma 2.3 calculation (DESIGN.md §2.3) bounds
+    the per-phase slack by ε·(2^r·Φ + 2|E| + 2ε·2^r·|E|) ≤ ε·n·(2^r + 2Δ)
+    for ε·2^r ≤ 1, so ε ≤ r / ((2^r + 2Δ)·⌈log C⌉) keeps the total increase
+    over all ⌈log C⌉/r phases below n.
+
+    ``strengthen`` multiplies the required accuracy: the "how to avoid MIS"
+    variant (Section 4) passes Δ+1 so the *total* increase stays below
+    n/(Δ+1) and the final potential below n.
+    """
+    delta = max(1, int(max_degree))
+    bits = max(1, int(color_bits))
+    strengthen = max(1, int(strengthen))
+    if r == 1 and strengthen == 1:
+        return int(10 * delta * bits - 1).bit_length()
+    need = ((1 << r) + 2 * delta) * bits * strengthen / r
+    return max(1, math.ceil(math.log2(need)) + 1)
+
+
+class PhaseEstimator:
+    """Exact survival/potential arithmetic for one r-bit extension phase.
+
+    Parameters
+    ----------
+    family:
+        Pairwise-independent family over the input-coloring domain.
+    psi:
+        Proper input coloring (the K-coloring of Lemma 2.1); adjacent nodes
+        must have distinct values.
+    bucket_counts:
+        ``(n, 2^r)`` — candidate colors of each node per r-bit bucket.
+    edges_u, edges_v:
+        Endpoints of the *alive* conflict edges E_{ℓ-1}.
+    """
+
+    def __init__(
+        self,
+        family: PairwiseFamily,
+        psi: np.ndarray,
+        bucket_counts: np.ndarray,
+        edges_u: np.ndarray,
+        edges_v: np.ndarray,
+    ):
+        self.family = family
+        self.b = family.b
+        self.scale = np.int64(1) << self.b
+        self.psi = np.asarray(psi, dtype=np.int64)
+        self.counts = np.asarray(bucket_counts, dtype=np.int64)
+        self.num_buckets = self.counts.shape[1]
+        self.thresholds = bucket_thresholds(self.counts, self.b)
+        self.edges_u = np.asarray(edges_u, dtype=np.int64)
+        self.edges_v = np.asarray(edges_v, dtype=np.int64)
+        if len(self.edges_u):
+            diff = self.psi[self.edges_u] ^ self.psi[self.edges_v]
+            if (diff == 0).any():
+                raise ValueError(
+                    "input coloring is not proper on the conflict graph"
+                )
+            self.psi_diff = diff
+        else:
+            self.psi_diff = np.empty(0, dtype=np.int64)
+        # 1/k_w with empty buckets mapped to 0 (they have probability 0).
+        with np.errstate(divide="ignore"):
+            inv = np.where(self.counts > 0, 1.0 / self.counts, 0.0)
+        self._inv_counts = inv
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges_u)
+
+    def edge_weight(self, w: int) -> np.ndarray:
+        """(1/k_w(u) + 1/k_w(v)) per alive edge."""
+        return (
+            self._inv_counts[self.edges_u, w] + self._inv_counts[self.edges_v, w]
+        )
+
+    # ------------------------------------------------------------------
+    def expected_by_s1(self, s1_candidates: np.ndarray) -> np.ndarray:
+        """E[Σ_e X_e | s1] for each candidate s1 (expectation over σ)."""
+        s1_candidates = np.asarray(s1_candidates, dtype=np.int64)
+        if self.num_edges == 0:
+            return np.zeros(len(s1_candidates), dtype=np.float64)
+        # d_e(s1) = top_b(s1 ⊙ (ψ(u) ⊕ ψ(v))), shape (candidates, edges).
+        d = self.family.g_values_many(s1_candidates, self.psi_diff)
+        if self.num_buckets == 2:
+            return self._expected_two_buckets(d)
+        return self._expected_general(d)
+
+    def _expected_two_buckets(self, d: np.ndarray) -> np.ndarray:
+        """r = 1 fast path: one counting-DP call per (candidate, edge).
+
+        Bucket 0 occupies [0, t) and bucket 1 occupies [t, 2^b); by
+        inclusion-exclusion, #{both in bucket 1} = 2^b - t_u - t_v +
+        #{both in bucket 0}.
+        """
+        t_u = self.thresholds[self.edges_u, 1][None, :]
+        t_v = self.thresholds[self.edges_v, 1][None, :]
+        n_both0 = count_xor_below(d, t_u, t_v, self.b)
+        n_both1 = self.scale - t_u - t_v + n_both0
+        w0 = self.edge_weight(0)[None, :]
+        w1 = self.edge_weight(1)[None, :]
+        total = n_both0.astype(np.float64) * w0 + n_both1.astype(np.float64) * w1
+        return total.sum(axis=1) / float(self.scale)
+
+    def _expected_general(self, d: np.ndarray) -> np.ndarray:
+        total = np.zeros(d.shape, dtype=np.float64)
+        for w in range(self.num_buckets):
+            lo_u = self.thresholds[self.edges_u, w]
+            hi_u = self.thresholds[self.edges_u, w + 1]
+            lo_v = self.thresholds[self.edges_v, w]
+            hi_v = self.thresholds[self.edges_v, w + 1]
+            live = (hi_u > lo_u) & (hi_v > lo_v)
+            if not live.any():
+                continue
+            cnt = count_xor_in_intervals(
+                d[:, live],
+                lo_u[live][None, :],
+                hi_u[live][None, :],
+                lo_v[live][None, :],
+                hi_v[live][None, :],
+                self.b,
+            )
+            total[:, live] += cnt.astype(np.float64) * self.edge_weight(w)[live][None, :]
+        return total.sum(axis=1) / float(self.scale)
+
+    # ------------------------------------------------------------------
+    def buckets_for_sigma_matrix(self, s1: int) -> np.ndarray:
+        """Bucket selected by every node for every σ; shape (n, 2^b)."""
+        g = self.family.g_values(s1, self.psi)
+        sigmas = np.arange(self.scale, dtype=np.int64)
+        n = len(self.psi)
+        buckets = np.empty((n, int(self.scale)), dtype=np.int64)
+        for v in range(n):
+            y = g[v] ^ sigmas
+            buckets[v] = np.searchsorted(self.thresholds[v], y, side="right") - 1
+        np.clip(buckets, 0, self.num_buckets - 1, out=buckets)
+        return buckets
+
+    def exact_by_sigma(self, s1: int) -> np.ndarray:
+        """Exact Σ_e X_e for every additive seed σ once s1 is fixed."""
+        if self.num_edges == 0:
+            return np.zeros(int(self.scale), dtype=np.float64)
+        buckets = self.buckets_for_sigma_matrix(s1)
+        n = len(self.psi)
+        inv_sel = self._inv_counts[np.arange(n)[:, None], buckets]
+        total = np.zeros(int(self.scale), dtype=np.float64)
+        chunk = max(1, (1 << 22) // int(self.scale))
+        for start in range(0, self.num_edges, chunk):
+            eu = self.edges_u[start:start + chunk]
+            ev = self.edges_v[start:start + chunk]
+            same = buckets[eu] == buckets[ev]
+            contrib = np.where(same, inv_sel[eu] + inv_sel[ev], 0.0)
+            total += contrib.sum(axis=0)
+        return total
+
+    def buckets_for_seed(self, s1: int, sigma: int) -> np.ndarray:
+        """Bucket chosen by each node under the (deterministic) seed."""
+        g = self.family.g_values(s1, self.psi)
+        y = g ^ np.int64(sigma)
+        buckets = np.empty(len(self.psi), dtype=np.int64)
+        for v in range(len(self.psi)):
+            buckets[v] = (
+                np.searchsorted(self.thresholds[v], y[v], side="right") - 1
+            )
+        np.clip(buckets, 0, self.num_buckets - 1, out=buckets)
+        chosen = self.counts[np.arange(len(self.psi)), buckets]
+        if (chosen <= 0).any():
+            raise AssertionError(
+                "selected an empty bucket: threshold construction is broken"
+            )
+        return buckets

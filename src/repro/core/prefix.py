@@ -1,0 +1,243 @@
+"""The bitwise prefix-extension process (Section 2.1, Algorithm 1).
+
+Each color is a ⌈log C⌉-bit string.  The process runs phases; in each phase
+every node extends the prefix of its eventual candidate color by r bits
+(r = 1 is Algorithm 1; r > 1 is the multi-bit acceleration of Theorems
+1.3/1.4; r = ⌈log C⌉ picks whole colors as in Lemma 4.2).  The candidate
+list L_ℓ(u) shrinks to the colors consistent with the prefix and the
+conflict graph G_ℓ keeps only edges whose endpoints share a prefix.
+
+The extension bits come either from the derandomized seed of Lemma 2.6
+(default) or from a uniformly random seed (the randomized processes of
+Lemmas 2.2/2.3, kept as a baseline and for statistical tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.derandomize import SeedChoice, derandomize_phase
+from repro.core.instances import ListColoringInstance, ceil_log2
+from repro.core.potential import PhaseEstimator, accuracy_bits, potential_sum
+from repro.hashing.pairwise import PairwiseFamily
+
+__all__ = ["PrefixResult", "PhaseRecord", "extend_prefixes"]
+
+
+@dataclass
+class PhaseRecord:
+    """Bookkeeping for one extension phase."""
+
+    r: int  #: prefix bits fixed this phase
+    b: int  #: coin accuracy bits
+    seed_bits: int  #: m + b
+    initial_expectation: float
+    final_value: float
+    potential_after: float
+    alive_edges: int
+    seed: SeedChoice | None = None
+
+
+@dataclass
+class PrefixResult:
+    """Outcome of the full ⌈log C⌉-bit prefix extension."""
+
+    candidates: np.ndarray  #: the selected candidate color per node
+    conflict_degrees: np.ndarray  #: same-candidate neighbor counts
+    conflict_edges_u: np.ndarray
+    conflict_edges_v: np.ndarray
+    potential_trace: list = field(default_factory=list)  #: ΣΦ_ℓ, ℓ = 0..last
+    phases: list = field(default_factory=list)  #: list[PhaseRecord]
+    total_seed_bits: int = 0
+
+
+def _bucket_counts(
+    cand_lists: list, shift: int, r: int
+) -> np.ndarray:
+    """k_w(v): per node, candidate colors whose next r bits equal w."""
+    n = len(cand_lists)
+    width = 1 << r
+    counts = np.zeros((n, width), dtype=np.int64)
+    mask = width - 1
+    for v in range(n):
+        buckets = (cand_lists[v] >> shift) & mask
+        counts[v] = np.bincount(buckets, minlength=width)
+    return counts
+
+
+def _phase_budget(phi_prev: float, num_edges: int, b: int, r: int) -> float:
+    """Rigorous upper bound on the expected potential increase of a phase.
+
+    From the Lemma 2.3 calculation generalized to 2^r buckets with interval
+    rounding error ε = 2^-b per threshold (see DESIGN.md §2.3), summing the
+    per-edge error terms:
+
+        E[ΣΦ] - ΣΦ_prev ≤ ε·2^r·ΣΦ_prev + 2ε·|E| + 2ε²·2^r·|E| .
+    """
+    eps = 2.0 ** (-b)
+    width = float(1 << r)
+    return eps * width * phi_prev + 2.0 * eps * num_edges * (1.0 + eps * width)
+
+
+def extend_prefixes(
+    instance: ListColoringInstance,
+    psi: np.ndarray,
+    num_input_colors: int,
+    r_schedule=None,
+    strengthen: int = 1,
+    strict: bool = True,
+    rng: np.random.Generator | None = None,
+    accuracy_override: int | None = None,
+) -> PrefixResult:
+    """Run the full prefix extension on ``instance``.
+
+    Parameters
+    ----------
+    psi, num_input_colors:
+        Proper input K-coloring for the coin construction (Lemma 2.5).
+    r_schedule:
+        Callable ``(phase_index, bits_remaining) -> r``; default fixes one
+        bit per phase (Algorithm 1).
+    strengthen:
+        Accuracy multiplier; the "avoid MIS" variant of Section 4 passes
+        Δ+1 so the final potential stays below n (instead of 2n).
+    strict:
+        Assert every paper invariant along the way.
+    rng:
+        If given, phases use uniformly random seeds instead of the method of
+        conditional expectations (the randomized processes of Lemmas
+        2.2/2.3).
+    accuracy_override:
+        Force the coin accuracy to this many bits instead of the Lemma 2.6
+        choice — used by the ablation experiments to show what breaks when
+        the coins are too coarse.  Implies ``strict`` budget checks off for
+        the potential (correctness checks stay on).
+    """
+    graph = instance.graph
+    n = graph.n
+    psi = np.asarray(psi, dtype=np.int64)
+    if graph.m and (psi[graph.edges_u] == psi[graph.edges_v]).any():
+        raise ValueError("input coloring psi must be proper")
+
+    total_bits = instance.color_bits
+    cand = instance.copy_lists()
+    edges_u = graph.edges_u.copy()
+    edges_v = graph.edges_v.copy()
+    delta = graph.max_degree
+    a_bits = max(1, ceil_log2(max(2, num_input_colors)))
+
+    def conflict_degrees() -> np.ndarray:
+        deg = np.zeros(n, dtype=np.int64)
+        if len(edges_u):
+            np.add.at(deg, edges_u, 1)
+            np.add.at(deg, edges_v, 1)
+        return deg
+
+    sizes = np.array([len(c) for c in cand], dtype=np.int64)
+    result = PrefixResult(
+        candidates=np.empty(n, dtype=np.int64),
+        conflict_degrees=np.zeros(n, dtype=np.int64),
+        conflict_edges_u=edges_u,
+        conflict_edges_v=edges_v,
+    )
+    phi = potential_sum(conflict_degrees(), sizes)
+    result.potential_trace.append(phi)
+    if strict and phi >= n + 1e-9:
+        raise AssertionError(f"initial potential {phi} is not < n = {n}")
+
+    bits_left = total_bits
+    phase_index = 0
+    while bits_left > 0:
+        r = 1 if r_schedule is None else int(r_schedule(phase_index, bits_left))
+        r = max(1, min(r, bits_left))
+        shift = bits_left - r
+        counts = _bucket_counts(cand, shift, r)
+        if accuracy_override is not None:
+            b = max(1, int(accuracy_override))
+        else:
+            b = accuracy_bits(delta, total_bits, r=r, strengthen=strengthen)
+        family = PairwiseFamily(a_bits, b)
+        estimator = PhaseEstimator(family, psi, counts, edges_u, edges_v)
+
+        if rng is None:
+            choice = derandomize_phase(estimator, strict=strict)
+            s1, sigma = choice.s1, choice.sigma
+            initial_e, final_v = choice.initial_expectation, choice.final_value
+        else:
+            s1 = int(rng.integers(0, family.field.order))
+            sigma = int(rng.integers(0, 1 << b))
+            choice = None
+            initial_e = float("nan")
+            final_v = float("nan")
+
+        buckets = estimator.buckets_for_seed(s1, sigma)
+
+        # Shrink candidate lists to the chosen bucket; never empty.
+        mask = (1 << r) - 1
+        for v in range(n):
+            selected = ((cand[v] >> shift) & mask) == buckets[v]
+            cand[v] = cand[v][selected]
+            if len(cand[v]) == 0:
+                raise AssertionError(
+                    f"candidate list of node {v} became empty (phase {phase_index})"
+                )
+        sizes = np.array([len(c) for c in cand], dtype=np.int64)
+
+        # Conflict edges survive only when both endpoints chose the bucket.
+        if len(edges_u):
+            alive = buckets[edges_u] == buckets[edges_v]
+            edges_u = edges_u[alive]
+            edges_v = edges_v[alive]
+
+        new_phi = potential_sum(conflict_degrees(), sizes)
+        if strict and choice is not None and accuracy_override is None:
+            edges_before = (
+                int(result.phases[-1].alive_edges) if result.phases else graph.m
+            )
+            budget = _phase_budget(phi, edges_before, b, r)
+            tolerance = 1e-6 * max(1.0, phi)
+            if initial_e > phi + budget + tolerance:
+                raise AssertionError(
+                    f"phase {phase_index}: E[Φ] = {initial_e} exceeds "
+                    f"Φ_prev + budget = {phi} + {budget}"
+                )
+            if abs(final_v - new_phi) > 1e-6 * max(1.0, new_phi):
+                raise AssertionError(
+                    f"phase {phase_index}: estimator value {final_v} does not "
+                    f"match realized potential {new_phi}"
+                )
+
+        result.phases.append(
+            PhaseRecord(
+                r=r,
+                b=b,
+                seed_bits=family.m + b,
+                initial_expectation=initial_e,
+                final_value=final_v,
+                potential_after=new_phi,
+                alive_edges=len(edges_u),
+                seed=choice,
+            )
+        )
+        result.total_seed_bits += family.m + b
+        result.potential_trace.append(new_phi)
+        phi = new_phi
+        bits_left = shift
+        phase_index += 1
+
+    if strict:
+        if any(len(c) != 1 for c in cand):
+            raise AssertionError("a candidate list has size != 1 after all phases")
+        bound = n if strengthen > 1 else 2 * n
+        if rng is None and accuracy_override is None and phi > bound + 1e-6:
+            raise AssertionError(
+                f"final potential {phi} exceeds the Lemma 2.1 bound {bound}"
+            )
+
+    result.candidates = np.array([int(c[0]) for c in cand], dtype=np.int64)
+    result.conflict_edges_u = edges_u
+    result.conflict_edges_v = edges_v
+    result.conflict_degrees = conflict_degrees()
+    return result

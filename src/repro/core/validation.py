@@ -1,0 +1,80 @@
+"""Validation of colorings and solver outputs.
+
+Every solver in this library returns its coloring through these checkers in
+integration tests and benchmarks; a reproduction whose outputs are not
+machine-checked proves nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instances import ListColoringInstance
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "verify_proper_coloring",
+    "verify_proper_list_coloring",
+    "verify_partial_list_coloring",
+    "verify_independent_set",
+    "verify_maximal_independent_set",
+]
+
+
+def verify_proper_coloring(graph: Graph, colors: np.ndarray) -> None:
+    """Raise ``AssertionError`` unless ``colors`` is proper on ``graph``."""
+    colors = np.asarray(colors)
+    if len(colors) != graph.n:
+        raise AssertionError(f"expected {graph.n} colors, got {len(colors)}")
+    if graph.m and (colors[graph.edges_u] == colors[graph.edges_v]).any():
+        bad = np.flatnonzero(colors[graph.edges_u] == colors[graph.edges_v])[0]
+        u, v = int(graph.edges_u[bad]), int(graph.edges_v[bad])
+        raise AssertionError(
+            f"monochromatic edge ({u}, {v}) with color {int(colors[u])}"
+        )
+
+
+def verify_proper_list_coloring(
+    instance: ListColoringInstance, colors: np.ndarray
+) -> None:
+    """Proper coloring *and* every node colored from its own list."""
+    verify_proper_coloring(instance.graph, colors)
+    for v in range(instance.n):
+        c = int(colors[v])
+        lst = instance.lists[v]
+        idx = np.searchsorted(lst, c)
+        if idx >= len(lst) or lst[idx] != c:
+            raise AssertionError(f"node {v} colored {c}, not in its list")
+
+
+def verify_partial_list_coloring(
+    instance: ListColoringInstance, colors: np.ndarray, uncolored_value: int = -1
+) -> None:
+    """Like :func:`verify_proper_list_coloring` but nodes may be uncolored."""
+    colors = np.asarray(colors)
+    colored = colors != uncolored_value
+    if instance.graph.m:
+        eu, ev = instance.graph.edges_u, instance.graph.edges_v
+        both = colored[eu] & colored[ev]
+        if (colors[eu][both] == colors[ev][both]).any():
+            raise AssertionError("monochromatic edge between two colored nodes")
+    for v in np.flatnonzero(colored):
+        c = int(colors[v])
+        lst = instance.lists[int(v)]
+        idx = np.searchsorted(lst, c)
+        if idx >= len(lst) or lst[idx] != c:
+            raise AssertionError(f"node {int(v)} colored {c}, not in its list")
+
+
+def verify_independent_set(graph: Graph, members: np.ndarray) -> None:
+    members = np.asarray(members, dtype=bool)
+    if graph.m and (members[graph.edges_u] & members[graph.edges_v]).any():
+        raise AssertionError("independent set contains an edge")
+
+
+def verify_maximal_independent_set(graph: Graph, members: np.ndarray) -> None:
+    verify_independent_set(graph, members)
+    members = np.asarray(members, dtype=bool)
+    for v in range(graph.n):
+        if not members[v] and not members[graph.neighbors(v)].any():
+            raise AssertionError(f"node {v} could be added: the set is not maximal")

@@ -1,0 +1,141 @@
+"""Network decompositions with congestion (Definition 3.1).
+
+An (α, β)-network decomposition with congestion κ partitions V into
+clusters, each with an associated Steiner tree in G and a color in
+{1, .., α}, such that
+
+  (i)   the tree of a cluster contains all the cluster's nodes,
+  (ii)  every tree has diameter ≤ β,
+  (iii) clusters joined by an edge of G get different colors,
+  (iv)  every edge of G lies in at most κ trees of the same color.
+
+The :meth:`NetworkDecomposition.validate` method machine-checks all four
+properties (plus that clusters partition V); every decomposition produced
+in this library passes through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["Cluster", "NetworkDecomposition"]
+
+
+@dataclass
+class Cluster:
+    """One cluster: member nodes, a Steiner tree in G, and a color."""
+
+    nodes: np.ndarray  #: sorted member ids
+    color: int
+    center: int
+    tree_edges: list  #: list of (u, v) edges of G forming the tree
+    radius: int = 0  #: carving radius (tree depth bound)
+
+    def tree_nodes(self) -> set:
+        nodes = {self.center}
+        for u, v in self.tree_edges:
+            nodes.add(int(u))
+            nodes.add(int(v))
+        return nodes
+
+
+@dataclass
+class NetworkDecomposition:
+    """A validated (α, β)-decomposition with congestion κ of a graph."""
+
+    graph: Graph
+    clusters: list = field(default_factory=list)
+    num_colors: int = 0
+
+    # ------------------------------------------------------------------
+    def cluster_of(self) -> np.ndarray:
+        """Node -> cluster index; every node must be covered exactly once."""
+        owner = np.full(self.graph.n, -1, dtype=np.int64)
+        for idx, cluster in enumerate(self.clusters):
+            for v in cluster.nodes:
+                if owner[v] != -1:
+                    raise AssertionError(f"node {int(v)} in two clusters")
+                owner[v] = idx
+        if (owner == -1).any():
+            missing = int(np.flatnonzero(owner == -1)[0])
+            raise AssertionError(f"node {missing} not covered by any cluster")
+        return owner
+
+    def weak_diameter(self) -> int:
+        """Max tree diameter β over all clusters (property ii, measured)."""
+        best = 0
+        for cluster in self.clusters:
+            tree_nodes = sorted(cluster.tree_nodes())
+            if len(tree_nodes) <= 1:
+                continue
+            sub, original = self.graph.induced_subgraph(tree_nodes)
+            index = {int(o): i for i, o in enumerate(original)}
+            tree = Graph(
+                sub.n,
+                [(index[int(u)], index[int(v)]) for u, v in cluster.tree_edges],
+            )
+            best = max(best, tree.diameter())
+        return best
+
+    def congestion(self) -> int:
+        """Max number of same-color trees sharing one edge (property iv)."""
+        usage: dict = {}
+        for cluster in self.clusters:
+            for u, v in cluster.tree_edges:
+                key = (min(int(u), int(v)), max(int(u), int(v)), cluster.color)
+                usage[key] = usage.get(key, 0) + 1
+        return max(usage.values(), default=0)
+
+    # ------------------------------------------------------------------
+    def validate(self, max_diameter: int | None = None) -> None:
+        """Check Definition 3.1 (raises AssertionError on violation)."""
+        owner = self.cluster_of()
+        graph = self.graph
+
+        for cluster in self.clusters:
+            if not (1 <= cluster.color <= self.num_colors):
+                raise AssertionError(
+                    f"cluster color {cluster.color} outside 1..{self.num_colors}"
+                )
+            # (i) the tree spans the cluster and is a connected tree.
+            tree_nodes = cluster.tree_nodes()
+            for v in cluster.nodes:
+                if int(v) not in tree_nodes:
+                    raise AssertionError(
+                        f"cluster node {int(v)} missing from its tree"
+                    )
+            for u, v in cluster.tree_edges:
+                if not graph.has_edge(int(u), int(v)):
+                    raise AssertionError(
+                        f"tree edge ({u}, {v}) is not an edge of G"
+                    )
+            if cluster.tree_edges:
+                ids = sorted(tree_nodes)
+                index = {o: i for i, o in enumerate(ids)}
+                tree = Graph(
+                    len(ids),
+                    [(index[int(u)], index[int(v)]) for u, v in cluster.tree_edges],
+                )
+                if tree.m != tree.n - 1 or len(tree.connected_components()) != 1:
+                    raise AssertionError("cluster tree is not a tree")
+
+        # (iii) adjacent clusters have different colors.
+        for u, v in zip(graph.edges_u, graph.edges_v):
+            cu, cv = owner[u], owner[v]
+            if cu != cv and self.clusters[cu].color == self.clusters[cv].color:
+                raise AssertionError(
+                    f"adjacent clusters {int(cu)}, {int(cv)} share color "
+                    f"{self.clusters[cu].color}"
+                )
+
+        # (ii) diameter bound, when requested.
+        if max_diameter is not None:
+            measured = self.weak_diameter()
+            if measured > max_diameter:
+                raise AssertionError(
+                    f"weak diameter {measured} exceeds bound {max_diameter}"
+                )

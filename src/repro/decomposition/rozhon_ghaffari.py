@@ -1,0 +1,233 @@
+"""Deterministic weak-diameter clustering in the style of Rozhoň–Ghaffari
+(Theorem 3.1, [RG19]).
+
+One *carving* builds non-adjacent clusters of small weak diameter covering
+at least half of the still-unclustered nodes; O(log n) carvings — one per
+decomposition color — cover everything.
+
+A carving processes the B = ⌈log n⌉ + 1 bits of the cluster labels (labels
+are the center ids, unique).  In the phase for bit k, clusters whose label
+has bit k = 0 are *red*, bit k = 1 are *blue*.  Repeatedly, every alive
+blue node adjacent to a red cluster whose label agrees with its own on all
+previously processed bits proposes to the smallest-label *active* such
+cluster; a red cluster with at least |R|/(2B) proposers absorbs them all
+(they adopt its label — the prefix agreement means bits already processed
+never change), otherwise it finalizes for the phase and its proposers die
+(they stay unclustered for this carving).
+
+Guarantees (all asserted here or in the validator):
+
+* deaths per phase ≤ n_alive/(2B), hence ≥ half of the alive nodes end up
+  clustered per carving;
+* a red cluster absorbs at most log_{1+1/(2B)} n ≈ 2B·ln n times per phase
+  and its radius grows by 1 per absorption → radius O(B·log n) per phase,
+  O(B²·log n) = O(log³ n) overall — the weak-diameter bound;
+* at the end of a carving, alive clusters are pairwise non-adjacent: for
+  adjacent final clusters consider the *smallest* bit j where their labels
+  differ; joins after phase j preserve bits < k of the mover, so both
+  endpoints' bit-j values are frozen from phase j's end onward, and the
+  phase-j closing invariant (no alive blue node adjacent to a red cluster
+  with equal processed prefix) is violated — contradiction.
+
+Round accounting: every proposal step costs O(1) rounds for the proposals
+themselves plus a cluster-internal aggregation over the current radius to
+count proposers; we charge ``2·radius + 4`` per step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.decomposition.network_decomposition import Cluster, NetworkDecomposition
+from repro.engine.rounds import RoundLedger
+from repro.graphs.graph import Graph
+
+__all__ = ["carve_class", "decompose", "CarveResult"]
+
+
+@dataclass
+class CarveResult:
+    """Result of one carving (one decomposition color)."""
+
+    center: np.ndarray  #: node -> cluster center id, or -1 (dead / not alive)
+    dead: np.ndarray  #: True for nodes that died this carving
+    radius: dict  #: center -> carving radius
+    steps: int
+    rounds: int
+    deaths: int
+
+
+def carve_class(
+    graph: Graph, alive: np.ndarray, label_bits: int | None = None
+) -> CarveResult:
+    """One RG19-style carving on the alive nodes (see module docstring)."""
+    n = graph.n
+    alive = np.asarray(alive, dtype=bool).copy()
+    n_alive = int(alive.sum())
+    if label_bits is None:
+        label_bits = max(1, math.ceil(math.log2(max(2, n))) + 1)
+    B = label_bits
+
+    center = np.where(alive, np.arange(n, dtype=np.int64), -1)
+    members: dict = {v: {v} for v in np.flatnonzero(alive)}
+    members = {int(k): {int(x) for x in v} for k, v in members.items()}
+    radius: dict = {c: 0 for c in members}
+    dead = np.zeros(n, dtype=bool)
+    deaths = 0
+    steps = 0
+    rounds = 0
+    max_steps_per_phase = 8 * B * max(1, math.ceil(math.log2(max(2, n)))) + 8
+
+    for k in range(B):
+        finalized: set = set()
+        prefix_mask = (1 << k) - 1
+        for _step in range(max_steps_per_phase + 1):
+            if _step == max_steps_per_phase:
+                raise AssertionError(
+                    f"carving phase {k} did not converge within "
+                    f"{max_steps_per_phase} steps"
+                )
+            # Gather proposals: alive blue node -> smallest-label active
+            # red cluster with matching processed prefix.
+            proposals: dict = {}
+            stuck = []
+            for u in np.flatnonzero(alive):
+                cu = int(center[u])
+                if (cu >> k) & 1 == 0:
+                    continue  # red node
+                best = None
+                saw_finalized_only = False
+                for w in graph.neighbors(int(u)):
+                    if not alive[w]:
+                        continue
+                    cw = int(center[w])
+                    if (cw >> k) & 1 != 0:
+                        continue  # blue neighbor
+                    if (cw & prefix_mask) != (cu & prefix_mask):
+                        continue  # processed prefixes disagree
+                    if cw in finalized:
+                        saw_finalized_only = True
+                        continue
+                    if best is None or cw < best:
+                        best = cw
+                if best is not None:
+                    proposals.setdefault(best, []).append(int(u))
+                elif saw_finalized_only:
+                    stuck.append(int(u))
+            if stuck:
+                # By the Rule-Y invariant this cannot happen: a blue node's
+                # first adjacency to red always includes an active cluster.
+                raise AssertionError(
+                    f"blue nodes {stuck[:5]} adjacent only to finalized reds"
+                )
+            if not proposals:
+                break
+            steps += 1
+            current_max_radius = max(radius.values(), default=0)
+            rounds += 2 * current_max_radius + 4
+            for target, proposers in sorted(proposals.items()):
+                threshold = len(members[target]) / (2.0 * B)
+                if len(proposers) >= threshold:
+                    for u in proposers:
+                        old = int(center[u])
+                        members[old].discard(u)
+                        if not members[old]:
+                            members.pop(old)
+                            radius.pop(old, None)
+                        center[u] = target
+                        members[target].add(u)
+                    radius[target] += 1
+                else:
+                    finalized.add(target)
+                    for u in proposers:
+                        old = int(center[u])
+                        members[old].discard(u)
+                        if not members[old]:
+                            members.pop(old)
+                            radius.pop(old, None)
+                        alive[u] = False
+                        dead[u] = True
+                        center[u] = -1
+                        deaths += 1
+
+    if n_alive and deaths > n_alive / 2.0:
+        raise AssertionError(
+            f"carving killed {deaths} > half of {n_alive} alive nodes"
+        )
+    return CarveResult(
+        center=center,
+        dead=dead,
+        radius=radius,
+        steps=steps,
+        rounds=rounds,
+        deaths=deaths,
+    )
+
+
+def _steiner_tree(graph: Graph, center: int, nodes: np.ndarray) -> list:
+    """Shortest-path tree edges in G covering ``nodes`` from ``center``."""
+    parent, _depth = graph.bfs_tree(int(center))
+    edges = set()
+    for v in nodes:
+        v = int(v)
+        while v != center:
+            p = int(parent[v])
+            if p < 0:
+                raise AssertionError(
+                    f"cluster node {v} unreachable from center {center}"
+                )
+            edge = (min(v, p), max(v, p))
+            if edge in edges:
+                break  # rest of the path already in the tree
+            edges.add(edge)
+            v = p
+    return sorted(edges)
+
+
+def decompose(
+    graph: Graph, ledger: RoundLedger | None = None, validate: bool = True
+) -> NetworkDecomposition:
+    """Full (O(log n), O(log³ n))-network decomposition (Theorem 3.1)."""
+    n = graph.n
+    decomposition = NetworkDecomposition(graph=graph, clusters=[], num_colors=0)
+    if n == 0:
+        return decomposition
+    alive = np.ones(n, dtype=bool)
+    color = 0
+    max_colors = max(1, math.ceil(math.log2(max(2, n)))) + 2
+    while alive.any():
+        color += 1
+        if color > max_colors:
+            raise AssertionError(
+                f"needed more than {max_colors} = O(log n) colors"
+            )
+        carve = carve_class(graph, alive)
+        if ledger is not None:
+            ledger.charge(f"carve_color_{color}", max(1, carve.rounds))
+        for c, node_set in sorted(_members_from_centers(carve.center).items()):
+            nodes = np.array(sorted(node_set), dtype=np.int64)
+            tree_edges = _steiner_tree(graph, c, nodes)
+            decomposition.clusters.append(
+                Cluster(
+                    nodes=nodes,
+                    color=color,
+                    center=int(c),
+                    tree_edges=tree_edges,
+                    radius=int(carve.radius.get(int(c), 0)),
+                )
+            )
+        alive = carve.dead
+    decomposition.num_colors = color
+    if validate:
+        decomposition.validate()
+    return decomposition
+
+
+def _members_from_centers(center: np.ndarray) -> dict:
+    members: dict = {}
+    for v in np.flatnonzero(center >= 0):
+        members.setdefault(int(center[v]), set()).add(int(v))
+    return members

@@ -1,0 +1,151 @@
+"""Deterministic graph workload generators.
+
+All generators take an integer ``seed`` (never global randomness) and return
+:class:`repro.graphs.graph.Graph` objects.  These are the workloads the
+benchmark harness sweeps: the paper's CONGEST result is parameterized by
+(n, D, Δ, C), so the families below cover the interesting corners —
+low diameter (expanders / random regular), high diameter (cycles, paths,
+grids), skewed degrees (power-law), and bounded degree (trees, grids).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "random_regular_graph",
+    "gnp_graph",
+    "random_tree",
+    "power_law_graph",
+    "disjoint_union",
+    "caterpillar_graph",
+    "random_bipartite_graph",
+]
+
+
+def cycle_graph(n: int) -> Graph:
+    """The n-cycle: Δ = 2, D = ⌊n/2⌋ — the high-diameter workload."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def path_graph(n: int) -> Graph:
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def complete_graph(n: int) -> Graph:
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def star_graph(n: int) -> Graph:
+    """One hub and n-1 leaves: maximally skewed degrees."""
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows × cols grid: Δ = 4, D = rows + cols - 2."""
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+    return Graph(rows * cols, edges)
+
+
+def random_regular_graph(n: int, d: int, seed: int) -> Graph:
+    """Random d-regular graph (low diameter, expander-like for d >= 3)."""
+    import networkx as nx
+
+    if (n * d) % 2:
+        raise ValueError("n*d must be even for a d-regular graph")
+    nx_graph = nx.random_regular_graph(d, n, seed=seed)
+    return Graph(n, [(int(u), int(v)) for u, v in nx_graph.edges()])
+
+
+def gnp_graph(n: int, p: float, seed: int) -> Graph:
+    """Erdős–Rényi G(n, p)."""
+    rng = np.random.default_rng(seed)
+    upper = np.triu_indices(n, k=1)
+    mask = rng.random(len(upper[0])) < p
+    return Graph(n, zip(upper[0][mask], upper[1][mask]))
+
+
+def random_tree(n: int, seed: int) -> Graph:
+    """Uniform random labelled tree via a Prüfer sequence."""
+    if n <= 1:
+        return Graph(n, [])
+    if n == 2:
+        return Graph(2, [(0, 1)])
+    rng = np.random.default_rng(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for x in prufer:
+        degree[x] += 1
+    edges = []
+    leaves = sorted(int(v) for v in range(n) if degree[v] == 1)
+    import heapq
+
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(x)))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return Graph(n, edges)
+
+
+def power_law_graph(n: int, attach: int, seed: int) -> Graph:
+    """Barabási–Albert preferential attachment (skewed degrees)."""
+    import networkx as nx
+
+    nx_graph = nx.barabasi_albert_graph(n, attach, seed=seed)
+    return Graph(n, [(int(u), int(v)) for u, v in nx_graph.edges()])
+
+
+def caterpillar_graph(spine: int, legs: int) -> Graph:
+    """A path of length ``spine`` with ``legs`` pendant nodes per spine node."""
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    next_id = spine
+    for i in range(spine):
+        for _ in range(legs):
+            edges.append((i, next_id))
+            next_id += 1
+    return Graph(next_id, edges)
+
+
+def random_bipartite_graph(left: int, right: int, p: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    edges = [
+        (i, left + j)
+        for i in range(left)
+        for j in range(right)
+        if rng.random() < p
+    ]
+    return Graph(left + right, edges)
+
+
+def disjoint_union(*graphs: Graph) -> Graph:
+    """Disjoint union (exercises per-component diameters; see Thm 1.1 remark)."""
+    offset = 0
+    edges = []
+    for g in graphs:
+        edges.extend((u + offset, v + offset) for u, v in g.edge_list())
+        offset += g.n
+    return Graph(offset, edges)

@@ -1,0 +1,251 @@
+"""Lightweight undirected graph representation used by all engines.
+
+The paper's algorithms operate on an undirected communication graph
+``G = (V, E)``.  This module provides a compact CSR-style adjacency
+structure backed by numpy arrays, plus the handful of graph operations the
+algorithms need (BFS, diameter, connected components, induced subgraphs).
+
+``networkx`` interoperability is provided for generators and examples, but
+the hot paths never touch networkx objects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected simple graph on nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``u != v``.  Duplicate edges and
+        both orientations of the same edge are collapsed.
+    """
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
+        if n < 0:
+            raise ValueError(f"node count must be non-negative, got {n}")
+        self.n = int(n)
+
+        canonical: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+            canonical.add((u, v) if u < v else (v, u))
+
+        if canonical:
+            edge_arr = np.array(sorted(canonical), dtype=np.int64)
+            self.edges_u = edge_arr[:, 0].copy()
+            self.edges_v = edge_arr[:, 1].copy()
+        else:
+            self.edges_u = np.empty(0, dtype=np.int64)
+            self.edges_v = np.empty(0, dtype=np.int64)
+
+        self.m = len(self.edges_u)
+        self._build_adjacency()
+
+    def _build_adjacency(self) -> None:
+        """Build CSR adjacency (``adj_offsets``/``adj_targets``) and degrees."""
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.edges_u, 1)
+        np.add.at(deg, self.edges_v, 1)
+        self.degrees = deg
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(deg, out=offsets[1:])
+        targets = np.empty(2 * self.m, dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        for u, v in zip(self.edges_u, self.edges_v):
+            targets[cursor[u]] = v
+            cursor[u] += 1
+            targets[cursor[v]] = u
+            cursor[v] += 1
+        # Sort each neighborhood for determinism.
+        for u in range(self.n):
+            lo, hi = offsets[u], offsets[u + 1]
+            targets[lo:hi] = np.sort(targets[lo:hi])
+        self.adj_offsets = offsets
+        self.adj_targets = targets
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph (0 for the empty graph)."""
+        return int(self.degrees.max()) if self.n else 0
+
+    def degree(self, u: int) -> int:
+        return int(self.degrees[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted numpy array of neighbors of ``u`` (a view, do not mutate)."""
+        return self.adj_targets[self.adj_offsets[u]:self.adj_offsets[u + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        idx = np.searchsorted(nbrs, v)
+        return bool(idx < len(nbrs) and nbrs[idx] == v)
+
+    def edge_list(self) -> list[tuple[int, int]]:
+        return [(int(u), int(v)) for u, v in zip(self.edges_u, self.edges_v)]
+
+    def nodes(self) -> range:
+        return range(self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.n}, m={self.m}, max_degree={self.max_degree})"
+
+    # ------------------------------------------------------------------
+    # Traversals and metrics
+    # ------------------------------------------------------------------
+    def bfs_levels(self, sources: Sequence[int]) -> np.ndarray:
+        """BFS distance from the nearest source; -1 for unreachable nodes."""
+        dist = np.full(self.n, -1, dtype=np.int64)
+        queue: deque[int] = deque()
+        for s in sources:
+            if dist[s] == -1:
+                dist[s] = 0
+                queue.append(int(s))
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            for v in self.neighbors(u):
+                if dist[v] == -1:
+                    dist[v] = du + 1
+                    queue.append(int(v))
+        return dist
+
+    def bfs_tree(self, root: int) -> tuple[np.ndarray, np.ndarray]:
+        """BFS tree from ``root``: ``(parents, depths)``.
+
+        ``parents[root] == root``; unreachable nodes get parent -1 and
+        depth -1.  Among equal-depth candidates the smallest-id parent is
+        chosen, so trees are deterministic.
+        """
+        parent = np.full(self.n, -1, dtype=np.int64)
+        depth = np.full(self.n, -1, dtype=np.int64)
+        parent[root] = root
+        depth[root] = 0
+        queue: deque[int] = deque([int(root)])
+        while queue:
+            u = queue.popleft()
+            for v in self.neighbors(u):
+                if depth[v] == -1:
+                    depth[v] = depth[u] + 1
+                    parent[v] = u
+                    queue.append(int(v))
+        return parent, depth
+
+    def eccentricity(self, u: int) -> int:
+        """Eccentricity of ``u`` within its connected component."""
+        dist = self.bfs_levels([u])
+        return int(dist.max(initial=0))
+
+    def diameter(self) -> int:
+        """Exact diameter, taken per connected component (max over them).
+
+        Uses all-pairs BFS; intended for the moderate graph sizes this
+        library simulates.
+        """
+        best = 0
+        for u in range(self.n):
+            dist = self.bfs_levels([u])
+            best = max(best, int(dist.max(initial=0)))
+        return best
+
+    def diameter_upper_bound(self) -> int:
+        """A ≤ 2×-approximate diameter via double BFS (fast)."""
+        if self.n == 0:
+            return 0
+        bound = 0
+        seen = np.zeros(self.n, dtype=bool)
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            dist = self.bfs_levels([start])
+            comp = dist >= 0
+            seen |= comp
+            far = int(np.argmax(np.where(comp, dist, -1)))
+            bound = max(bound, int(self.bfs_levels([far]).max(initial=0)))
+        return bound
+
+    def connected_components(self) -> list[np.ndarray]:
+        """List of components, each a sorted array of node ids."""
+        label = np.full(self.n, -1, dtype=np.int64)
+        comps: list[np.ndarray] = []
+        for s in range(self.n):
+            if label[s] != -1:
+                continue
+            dist = self.bfs_levels([s])
+            members = np.flatnonzero(dist >= 0)
+            members = members[label[members] == -1]
+            label[members] = len(comps)
+            comps.append(members)
+        return comps
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is the
+        original id of the subgraph node ``i``.
+        """
+        original = np.asarray(sorted(int(x) for x in set(nodes)), dtype=np.int64)
+        index = {int(orig): i for i, orig in enumerate(original)}
+        keep = np.zeros(self.n, dtype=bool)
+        keep[original] = True
+        sub_edges = [
+            (index[int(u)], index[int(v)])
+            for u, v in zip(self.edges_u, self.edges_v)
+            if keep[u] and keep[v]
+        ]
+        return Graph(len(original), sub_edges), original
+
+    def filter_edges(self, mask: np.ndarray) -> "Graph":
+        """Graph on the same nodes keeping only edges where ``mask`` is True."""
+        pairs = zip(self.edges_u[mask], self.edges_v[mask])
+        return Graph(self.n, pairs)
+
+    # ------------------------------------------------------------------
+    # networkx interop
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Convert a networkx graph (arbitrary hashable nodes) to :class:`Graph`.
+
+        Nodes are relabeled to 0..n-1 in sorted order of their repr, so the
+        conversion is deterministic.
+        """
+        nodes = sorted(nx_graph.nodes(), key=repr)
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+        return cls(len(nodes), edges)
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edge_list())
+        return g
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def __len__(self) -> int:
+        return self.n

@@ -1,0 +1,136 @@
+"""Biased coins and bucket selectors from a shared short seed (Lemma 2.5).
+
+Lemma 2.5: given a K-coloring ψ of the graph, an accuracy parameter b and a
+probability p_v per node, one can generate coins ``C_v`` from a seed of
+length ``2·max(log K, b)`` such that
+
+* ``Pr[C_v = 1]`` equals p_v rounded *up* to a multiple of 2^-b (exactly
+  p_v when p_v ∈ {0, 1});
+* the coins of adjacent nodes (distinct ψ-colors) are independent.
+
+This module implements both the single coin and the generalized *bucket
+selector* used by the r-bit prefix extension (Theorem 1.3 / Lemma 4.2):
+node v picks bucket w ∈ [2^r] with probability ≈ k_w / |L(v)| via the
+cumulative integer thresholds
+
+    T_w(v) = ceil( (k_0 + ... + k_{w-1}) · 2^b / |L(v)| ),
+
+selecting the bucket whose threshold interval contains
+``y_v = h(ψ(v)) ∈ [2^b)``.  Because the thresholds are exact integer
+ceilings, empty buckets get empty intervals (never selected) and the total
+always covers [2^b) (some non-empty bucket is always selected) — this is
+the "candidate list never becomes empty" guarantee of Lemmas 2.2/2.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.pairwise import PairwiseFamily
+
+__all__ = ["bucket_thresholds", "select_buckets", "coin_thresholds", "CoinSampler"]
+
+
+def bucket_thresholds(bucket_counts: np.ndarray, b: int) -> np.ndarray:
+    """Cumulative integer thresholds for bucket selection.
+
+    Parameters
+    ----------
+    bucket_counts:
+        Integer array of shape ``(n, W)``: ``bucket_counts[v, w]`` is the
+        number of candidate colors of node v in bucket w (the paper's
+        ``k_w(v)``).  Row sums are the list sizes ``|L(v)|`` and must be
+        positive.
+    b:
+        Accuracy bits; thresholds live in ``[0, 2^b]``.
+
+    Returns
+    -------
+    ``(n, W+1)`` int64 array T with ``T[:, 0] = 0`` and ``T[:, W] = 2^b``;
+    node v selects bucket w iff ``T[v, w] <= y_v < T[v, w+1]``.
+    """
+    counts = np.asarray(bucket_counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ValueError("bucket_counts must be 2-dimensional (nodes x buckets)")
+    if (counts < 0).any():
+        raise ValueError("bucket counts must be non-negative")
+    totals = counts.sum(axis=1)
+    if (totals <= 0).any():
+        raise ValueError("every node must have at least one candidate color")
+    scale = np.int64(1) << b
+    cumulative = np.concatenate(
+        [np.zeros((counts.shape[0], 1), dtype=np.int64), np.cumsum(counts, axis=1)],
+        axis=1,
+    )
+    # ceil(cum * 2^b / total), exactly, in integers.
+    thresholds = -(-cumulative * scale // totals[:, None])
+    return thresholds
+
+
+def select_buckets(thresholds: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Bucket index per node given hash values ``y`` in [2^b).
+
+    ``thresholds`` is the output of :func:`bucket_thresholds`.  For every
+    node the selected bucket has a non-empty threshold interval, hence at
+    least one candidate color.
+    """
+    thresholds = np.asarray(thresholds, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    n, width = thresholds.shape
+    # searchsorted per row: bucket w such that T[w] <= y < T[w+1].
+    buckets = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        buckets[v] = np.searchsorted(thresholds[v], y[v], side="right") - 1
+    # Guard against landing exactly on an empty interval boundary: since
+    # side="right" and intervals of empty buckets are empty, the selected
+    # bucket always has T[w] < T[w+1] unless y == T[w] == T[w+1], which
+    # searchsorted(side="right") skips past.  Clamp to the last bucket.
+    np.clip(buckets, 0, width - 2, out=buckets)
+    return buckets
+
+
+def coin_thresholds(k1: np.ndarray, list_sizes: np.ndarray, b: int) -> np.ndarray:
+    """Single-coin threshold t_v = ceil(p_v · 2^b) with p_v = k1/|L| (Lemma 2.5).
+
+    ``C_v = 1`` iff ``y_v < t_v``.  Then ``Pr[C_v = 1] = t_v / 2^b`` lies in
+    ``[p_v, p_v + 2^-b]`` and is exact for p_v ∈ {0, 1}.
+    """
+    k1 = np.asarray(k1, dtype=np.int64)
+    sizes = np.asarray(list_sizes, dtype=np.int64)
+    if (sizes <= 0).any():
+        raise ValueError("list sizes must be positive")
+    if ((k1 < 0) | (k1 > sizes)).any():
+        raise ValueError("k1 must satisfy 0 <= k1 <= |L|")
+    scale = np.int64(1) << b
+    return -(-k1 * scale // sizes)
+
+
+class CoinSampler:
+    """Generates the per-node hash values ``y_v`` from a reduced seed.
+
+    Wraps a :class:`PairwiseFamily` over the input-coloring domain.  Used by
+    the randomized baselines and by the simulators; the derandomization
+    engine uses the family's batch interfaces directly.
+    """
+
+    def __init__(self, num_input_colors: int, b: int):
+        if num_input_colors < 2:
+            num_input_colors = 2
+        a = max(1, int(num_input_colors - 1).bit_length())
+        self.family = PairwiseFamily(a, b)
+        self.b = b
+
+    @property
+    def seed_bits(self) -> int:
+        return self.family.reduced_seed_bits
+
+    def hash_values(self, s1: int, sigma: int, psi: np.ndarray) -> np.ndarray:
+        """``y_v = top_b(s1 ⊙ ψ(v)) ⊕ σ`` for every node."""
+        g = self.family.g_values(s1, np.asarray(psi, dtype=np.int64))
+        return g ^ sigma
+
+    def random_seed(self, rng: np.random.Generator) -> tuple[int, int]:
+        """Uniform reduced seed (for the randomized baselines only)."""
+        s1 = int(rng.integers(0, self.family.field.order))
+        sigma = int(rng.integers(0, 1 << self.b))
+        return s1, sigma

@@ -1,0 +1,206 @@
+"""Arithmetic in the finite field GF(2^m).
+
+The pairwise-independent hash family of Theorem 2.4 is instantiated over
+GF(2^m) (Section 2.2 of the paper; [Vad12]).  Field elements are represented
+as integers in ``[0, 2^m)`` whose bits are the coefficients of a polynomial
+over GF(2); multiplication is carry-less multiplication modulo a fixed
+irreducible polynomial of degree m.
+
+The irreducible modulus is *searched* at construction time (lexicographically
+smallest candidate) and certified with Rabin's irreducibility test, so there
+is no dependence on a hand-maintained polynomial table being correct.
+Instances are cached per ``m``.
+
+Multiplication is provided both for Python ints and vectorized over numpy
+arrays (shift-and-add "Russian peasant" scheme: O(m) numpy operations per
+array multiply), which is what the derandomization engine uses to evaluate
+hash values for every seed candidate at once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["GF2m", "poly_mul_mod", "is_irreducible", "find_irreducible"]
+
+
+def _poly_mul(a: int, b: int) -> int:
+    """Carry-less (polynomial) multiplication of two GF(2)[x] polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def _poly_mod(a: int, modulus: int) -> int:
+    """Reduce polynomial ``a`` modulo ``modulus`` over GF(2)."""
+    deg_m = modulus.bit_length() - 1
+    while a.bit_length() - 1 >= deg_m:
+        a ^= modulus << (a.bit_length() - 1 - deg_m)
+    return a
+
+
+def poly_mul_mod(a: int, b: int, modulus: int) -> int:
+    """``a * b mod modulus`` in GF(2)[x]."""
+    return _poly_mod(_poly_mul(a, b), modulus)
+
+
+def _poly_gcd(a: int, b: int) -> int:
+    """GCD of two polynomials over GF(2)."""
+    while b:
+        a, b = b, _poly_mod(a, b)
+    return a
+
+
+def _poly_pow_x(exponent_log2: int, modulus: int) -> int:
+    """Compute ``x^(2^exponent_log2) mod modulus`` by repeated squaring.
+
+    Squaring a GF(2) polynomial spreads its bits: ``(Σ c_i x^i)^2 =
+    Σ c_i x^{2i}``.
+    """
+    value = 0b10  # the polynomial x
+    for _ in range(exponent_log2):
+        spread = 0
+        v = value
+        i = 0
+        while v:
+            if v & 1:
+                spread |= 1 << (2 * i)
+            v >>= 1
+            i += 1
+        value = _poly_mod(spread, modulus)
+    return value
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin's irreducibility test for a degree-m polynomial over GF(2).
+
+    ``poly`` is irreducible iff ``x^(2^m) ≡ x (mod poly)`` and for every
+    prime divisor q of m, ``gcd(x^(2^(m/q)) - x, poly) = 1``.
+    """
+    m = poly.bit_length() - 1
+    if m <= 0:
+        return False
+    if _poly_pow_x(m, poly) != _poly_mod(0b10, poly):
+        return False
+    for q in _prime_factors(m):
+        h = _poly_pow_x(m // q, poly) ^ _poly_mod(0b10, poly)
+        if _poly_gcd(poly, h) != 1:
+            return False
+    return True
+
+
+def find_irreducible(m: int) -> int:
+    """Lexicographically smallest irreducible polynomial of degree ``m``."""
+    if m < 1:
+        raise ValueError(f"field degree must be >= 1, got {m}")
+    for candidate in range(1 << m, 1 << (m + 1)):
+        if candidate & 1 == 0:
+            continue  # divisible by x
+        if is_irreducible(candidate):
+            return candidate
+    raise RuntimeError(f"no irreducible polynomial of degree {m} found")  # pragma: no cover
+
+
+class GF2m:
+    """The field GF(2^m) with scalar and numpy-vectorized operations."""
+
+    def __init__(self, m: int):
+        if not (1 <= m <= 48):
+            raise ValueError(f"supported field degrees are 1..48, got {m}")
+        self.m = m
+        self.order = 1 << m
+        self.modulus = find_irreducible(m)
+        # Reduction constant: x^m ≡ modulus - x^m (mod modulus), i.e. the low
+        # m bits of the modulus.  Used by the vectorized multiply.
+        self._reduction = self.modulus ^ (1 << m)
+
+    # ------------------------------------------------------------------
+    def mul(self, a: int, b: int) -> int:
+        """Scalar field multiplication."""
+        self._check(a)
+        self._check(b)
+        return poly_mul_mod(a, b, self.modulus)
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        self._check(a)
+        self._check(b)
+        return a ^ b
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation by squaring."""
+        result = 1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse (a != 0), via a^(2^m - 2)."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        return self.pow(a, self.order - 2)
+
+    def _check(self, a: int) -> None:
+        if not (0 <= a < self.order):
+            raise ValueError(f"{a} is not an element of GF(2^{self.m})")
+
+    # ------------------------------------------------------------------
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise field multiplication of numpy int64 arrays.
+
+        Shift-and-add over the m bits of ``b`` with modular reduction folded
+        into every shift of ``a``, so intermediate values stay below 2^m and
+        int64 never overflows (m <= 48).
+        """
+        a = np.atleast_1d(np.asarray(a, dtype=np.int64)) % self.order
+        b = np.atleast_1d(np.asarray(b, dtype=np.int64)) % self.order
+        a, b = np.broadcast_arrays(a, b)
+        acc = np.zeros(a.shape, dtype=np.int64)
+        shifted = a.copy()
+        high_bit = 1 << (self.m - 1)
+        for bit in range(self.m):
+            take = ((b >> bit) & 1).astype(bool)
+            acc[take] ^= shifted[take]
+            if bit + 1 < self.m:
+                overflow = (shifted & high_bit) != 0
+                shifted = (shifted << 1) & (self.order - 1)
+                shifted[overflow] ^= self._reduction
+        return acc
+
+    def mul_scalar_vec(self, scalar: int, values: np.ndarray) -> np.ndarray:
+        """Multiply every array element by a fixed field scalar."""
+        self._check(scalar)
+        return self.mul_vec(np.full(1, scalar, dtype=np.int64), values)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GF2m(m={self.m}, modulus={bin(self.modulus)})"
+
+
+@lru_cache(maxsize=None)
+def get_field(m: int) -> GF2m:
+    """Cached field instance for degree ``m``."""
+    return GF2m(m)

@@ -1,0 +1,103 @@
+"""k-wise independent hash families from short seeds (Theorem 2.4).
+
+The family maps ``{0,1}^a -> {0,1}^b`` and is built over GF(2^m) with
+``m = max(a, b)``:
+
+    h_{s_0..s_{k-1}}(x) = top_b( s_{k-1} x^{k-1} + ... + s_1 x + s_0 )
+
+choosing a random function takes ``k * m <= k * max(a, b)`` random bits,
+matching Theorem 2.4.  For ``k = 2`` (all the paper's algorithms need) the
+evaluation is ``top_b(s1 ⊙ x ⊕ s0)``.
+
+Key structural fact exploited throughout the derandomization engine: since
+``top_b`` commutes with XOR, only the top ``b`` bits of the additive seed
+``s0`` influence the output.  Writing σ = top_b(s0),
+
+    h(x) = top_b(s1 ⊙ x) ⊕ σ ,
+
+so the *effective* pairwise seed is ``(s1, σ)`` with ``m + b`` bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.gf2 import GF2m, get_field
+
+__all__ = ["HashFamily", "PairwiseFamily"]
+
+
+class HashFamily:
+    """k-wise independent family ``h: [2^a] -> [2^b]`` (Theorem 2.4)."""
+
+    def __init__(self, a: int, b: int, k: int = 2):
+        if a < 1 or b < 1:
+            raise ValueError(f"domain/range bits must be >= 1 (a={a}, b={b})")
+        if k < 1:
+            raise ValueError(f"independence parameter must be >= 1, got {k}")
+        self.a = a
+        self.b = b
+        self.k = k
+        self.m = max(a, b)
+        self.field: GF2m = get_field(self.m)
+        self.seed_bits = k * self.m
+
+    def evaluate(self, seed: tuple[int, ...], x: int) -> int:
+        """Evaluate ``h_seed(x)``; ``seed`` is ``(s_0, ..., s_{k-1})``."""
+        if len(seed) != self.k:
+            raise ValueError(f"seed must have {self.k} field elements")
+        if not (0 <= x < (1 << self.a)):
+            raise ValueError(f"input {x} outside domain [2^{self.a}]")
+        # Horner evaluation of the degree-(k-1) polynomial at x.
+        acc = 0
+        for coeff in reversed(seed):
+            acc = self.field.mul(acc, x) ^ coeff
+        return acc >> (self.m - self.b)
+
+    def evaluate_vec(self, seed: tuple[int, ...], xs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over an array of inputs."""
+        xs = np.asarray(xs, dtype=np.int64)
+        acc = np.zeros_like(xs)
+        for coeff in reversed(seed):
+            acc = self.field.mul_vec(acc, xs) ^ coeff
+        return acc >> (self.m - self.b)
+
+    def seed_space_size(self) -> int:
+        return 1 << self.seed_bits
+
+    def unpack_seed(self, packed: int) -> tuple[int, ...]:
+        """Decode an integer in ``[2^seed_bits)`` into k field elements."""
+        mask = self.field.order - 1
+        return tuple((packed >> (i * self.m)) & mask for i in range(self.k))
+
+
+class PairwiseFamily(HashFamily):
+    """The pairwise (k=2) family, with the reduced ``(s1, σ)`` seed view.
+
+    ``h(x) = g(s1, x) ⊕ σ`` where ``g(s1, x) = top_b(s1 ⊙ x)`` and
+    σ ∈ [2^b].  The reduced seed has ``m + b`` bits; enumerating
+    ``(s1, σ)`` uniformly induces the same output distribution as the full
+    2m-bit seed of Theorem 2.4.
+    """
+
+    def __init__(self, a: int, b: int):
+        super().__init__(a, b, k=2)
+        self.reduced_seed_bits = self.m + self.b
+
+    def g_values(self, s1: int, xs: np.ndarray) -> np.ndarray:
+        """``top_b(s1 ⊙ x)`` for each x — the σ-independent part of h."""
+        products = self.field.mul_scalar_vec(s1, np.asarray(xs, dtype=np.int64))
+        return products >> (self.m - self.b)
+
+    def g_values_many(self, s1_candidates: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Matrix of ``top_b(s1 ⊙ x)`` with shape (len(s1_candidates), len(xs))."""
+        s1 = np.asarray(s1_candidates, dtype=np.int64)[:, None]
+        x = np.asarray(xs, dtype=np.int64)[None, :]
+        return self.field.mul_vec(s1, x) >> (self.m - self.b)
+
+    def evaluate_reduced(self, s1: int, sigma: int, x: int) -> int:
+        """Evaluate using the reduced ``(s1, σ)`` seed."""
+        if not (0 <= sigma < (1 << self.b)):
+            raise ValueError(f"sigma {sigma} outside [2^{self.b}]")
+        g = self.field.mul(s1, x) >> (self.m - self.b)
+        return g ^ sigma

@@ -1,0 +1,149 @@
+"""Aggregation tree structures (Definition 5.4).
+
+Given a collection of sets A_1, .., A_k stored lexicographically sorted
+across machines, the structure provides, per set A_i whose elements span
+at least two machines, a constant-depth tree of machines with fan-out at
+most √S whose leaves are the machines storing A_i's elements (in order, so
+the tree doubles as a search tree), each inner node handled by a separate
+additional machine; plus one constant-depth tree connecting all machines.
+
+Built in O(1) rounds on top of sorting and Corollary 5.2
+(:func:`~repro.mpc.primitives.mpc_group_ranks` supplies the ranks).
+The structure supports the two operations the coloring algorithms need —
+per-group aggregation (each group's machines learn ⊕ over the group) and
+global aggregation — each costing ``2 · depth`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.mpc.machine import MPCEngine
+from repro.mpc.primitives import aggregation_fanout, mpc_sort
+
+__all__ = ["AggregationTreeStructure", "GroupTree"]
+
+
+@dataclass
+class GroupTree:
+    """The machine tree of one group (leaves in search-tree order)."""
+
+    group: object
+    leaves: list  #: machine ids storing the group's records, in sorted order
+    levels: list = field(default_factory=list)  #: levels[0] = leaves, .., top
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels) - 1
+
+    @property
+    def root(self):
+        return self.levels[-1][0]
+
+
+class AggregationTreeStructure:
+    """Builds and operates the trees of Definition 5.4 over an engine.
+
+    ``group_fn(record)`` extracts the set index i; ``key_fn`` must sort
+    records primarily by group, secondarily by value (the lexicographic
+    order of Definition 5.4).
+    """
+
+    BUILD_ROUNDS = 6  # sort (4) + rank/size sweeps folded into 2
+
+    def __init__(self, engine: MPCEngine, group_fn, key_fn):
+        self.engine = engine
+        self.group_fn = group_fn
+        self.fanout = aggregation_fanout(engine.config)
+        mpc_sort(engine, key=key_fn)
+        engine.charge_rounds(2)  # group boundary/rank announcement
+        self.trees: dict = {}
+        self._next_virtual = engine.num_machines  # inner-node machine ids
+        self._build()
+        self.global_tree = self._build_tree(
+            "__all__", list(range(engine.num_machines))
+        )
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        machines_per_group: dict = {}
+        for machine, store in enumerate(self.engine.stores):
+            for record in store:
+                g = self.group_fn(record)
+                machines_per_group.setdefault(g, [])
+                if (
+                    not machines_per_group[g]
+                    or machines_per_group[g][-1] != machine
+                ):
+                    machines_per_group[g].append(machine)
+        for group, leaves in sorted(machines_per_group.items(), key=lambda t: repr(t[0])):
+            self.trees[group] = self._build_tree(group, leaves)
+
+    def _build_tree(self, group, leaves: list) -> GroupTree:
+        tree = GroupTree(group=group, leaves=list(leaves), levels=[list(leaves)])
+        level = list(leaves)
+        while len(level) > 1:
+            parents = []
+            for start in range(0, len(level), self.fanout):
+                if len(level) <= self.fanout and start == 0:
+                    # Final level: one inner machine covers all.
+                    pass
+                parents.append(self._next_virtual)
+                self._next_virtual += 1
+            # Re-chunk: parent j covers level[j·f : (j+1)·f].
+            parents = parents[: math.ceil(len(level) / self.fanout)]
+            tree.levels.append(parents)
+            level = parents
+        return tree
+
+    # ------------------------------------------------------------------
+    def aggregate_group(self, group, value_fn, combine, initial=None):
+        """⊕ over all records of ``group``; charges 2·depth rounds.
+
+        Returns the aggregate (conceptually delivered back to every leaf
+        machine of the group by the downward broadcast the charge covers).
+        """
+        tree = self.trees.get(group)
+        if tree is None:
+            raise KeyError(f"unknown group {group!r}")
+        acc = initial
+        for machine in tree.leaves:
+            for record in self.engine.stores[machine]:
+                if self.group_fn(record) == group:
+                    v = value_fn(record)
+                    acc = v if acc is None else combine(acc, v)
+        self.engine.charge_rounds(2 * max(1, tree.depth))
+        return acc
+
+    def aggregate_all(self, value_fn, combine, initial=None):
+        """⊕ over every record on every machine (the global tree)."""
+        acc = initial
+        for store in self.engine.stores:
+            for record in store:
+                v = value_fn(record)
+                acc = v if acc is None else combine(acc, v)
+        self.engine.charge_rounds(2 * max(1, self.global_tree.depth))
+        return acc
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Definition 5.4 structure checks (fan-out, depth, coverage)."""
+        for tree in list(self.trees.values()) + [self.global_tree]:
+            for lower, upper in zip(tree.levels, tree.levels[1:]):
+                if len(upper) != math.ceil(len(lower) / self.fanout):
+                    raise AssertionError(
+                        f"tree of {tree.group!r}: level sizes {len(lower)} -> "
+                        f"{len(upper)} violate the √S fan-out"
+                    )
+            if len(tree.levels[-1]) != 1:
+                raise AssertionError(f"tree of {tree.group!r} has no root")
+            # Constant depth: ⌈log_f(#leaves)⌉.
+            expected = max(
+                1, math.ceil(math.log(max(2, len(tree.leaves)), self.fanout))
+            )
+            if tree.depth > expected + 1:
+                raise AssertionError(
+                    f"tree of {tree.group!r} deeper than O(1/α): "
+                    f"{tree.depth} > {expected + 1}"
+                )

@@ -1,0 +1,159 @@
+"""The MPC machine substrate (Sections 4–5, [KSV10]).
+
+M machines, each with a memory of S words; per synchronous round every
+machine may send and receive messages of total size at most S words.  A
+*word* is O(log n) bits; records are tuples counted at one word per field.
+
+:class:`MPCEngine` owns the machines' stores and validates, on every
+exchange, that (a) no machine sends more than S words, (b) no machine
+receives more than S words, and (c) no machine's residual storage exceeds
+its capacity.  Violations raise :class:`MemoryBudgetExceeded` — the model
+is enforced, not assumed (this is what lets the T6 experiment certify that
+the Theorem 1.4/1.5 algorithms really fit the memory regimes they claim).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["MPCConfig", "MPCEngine", "MemoryBudgetExceeded", "record_words"]
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """An MPC algorithm exceeded a machine's memory or I/O budget."""
+
+
+def record_words(record) -> int:
+    """Number of machine words a record occupies (1 per scalar field)."""
+    if isinstance(record, tuple):
+        return max(1, len(record))
+    return 1
+
+
+@dataclass(frozen=True)
+class MPCConfig:
+    """Memory regime of an MPC deployment.
+
+    ``memory_words`` is S; ``slack`` is the constant c ≥ 1 such that each
+    machine can actually store c·S words during a computation (the model's
+    standard constant-factor headroom, cf. Section 5).
+    """
+
+    num_machines: int
+    memory_words: int
+    slack: int = 4
+
+    @property
+    def capacity(self) -> int:
+        return self.slack * self.memory_words
+
+    @staticmethod
+    def linear(n: int, total_items: int, slack: int = 4) -> "MPCConfig":
+        """Linear regime: S = Θ(n)."""
+        s = max(8, n)
+        machines = max(1, math.ceil(slack * total_items / s))
+        return MPCConfig(num_machines=machines, memory_words=s, slack=slack)
+
+    @staticmethod
+    def sublinear(
+        n: int, total_items: int, alpha: float = 0.5, slack: int = 4
+    ) -> "MPCConfig":
+        """Sublinear regime: S = Θ(n^alpha), 0 < alpha < 1."""
+        if not (0.0 < alpha < 1.0):
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        s = max(8, int(round(max(2, n) ** alpha)))
+        machines = max(1, math.ceil(slack * total_items / s))
+        return MPCConfig(num_machines=machines, memory_words=s, slack=slack)
+
+
+class MPCEngine:
+    """Executes bulk-synchronous exchanges over a set of machines."""
+
+    def __init__(self, config: MPCConfig):
+        self.config = config
+        self.stores: list = [[] for _ in range(config.num_machines)]
+        self.rounds = 0
+        self.max_send_words = 0
+        self.max_receive_words = 0
+        self.max_storage_words = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return self.config.num_machines
+
+    def storage_words(self, machine: int) -> int:
+        return sum(record_words(r) for r in self.stores[machine])
+
+    def load(self, machine: int, records) -> None:
+        """Place initial records on a machine (input distribution)."""
+        self.stores[machine].extend(records)
+        self._check_storage(machine)
+
+    def scatter(self, records) -> None:
+        """Adversarial-ish initial placement: round-robin by record index."""
+        for i, record in enumerate(records):
+            self.stores[i % self.num_machines].append(record)
+        for machine in range(self.num_machines):
+            self._check_storage(machine)
+
+    # ------------------------------------------------------------------
+    def exchange(self, router) -> None:
+        """One communication round.
+
+        ``router(machine_id, store) -> list[(dst, record)]`` consumes the
+        machine's current store (the machine keeps whatever the router does
+        not send; the router returns the full new placement as messages —
+        records routed to the machine itself are free *storage*, but
+        messages to other machines are charged as I/O).
+        """
+        self.rounds += 1
+        sends = [0] * self.num_machines
+        receives = [0] * self.num_machines
+        new_stores: list = [[] for _ in range(self.num_machines)]
+        for src in range(self.num_machines):
+            for dst, record in router(src, self.stores[src]):
+                words = record_words(record)
+                if dst != src:
+                    sends[src] += words
+                    receives[dst] += words
+                new_stores[dst].append(record)
+        budget = self.config.memory_words
+        for machine in range(self.num_machines):
+            if sends[machine] > budget:
+                raise MemoryBudgetExceeded(
+                    f"machine {machine} sent {sends[machine]} words > S = {budget}"
+                )
+            if receives[machine] > budget:
+                raise MemoryBudgetExceeded(
+                    f"machine {machine} received {receives[machine]} words "
+                    f"> S = {budget}"
+                )
+        self.max_send_words = max(self.max_send_words, max(sends, default=0))
+        self.max_receive_words = max(
+            self.max_receive_words, max(receives, default=0)
+        )
+        self.stores = new_stores
+        for machine in range(self.num_machines):
+            self._check_storage(machine)
+
+    def charge_rounds(self, rounds: int) -> None:
+        """Charge rounds for an operation executed through helpers."""
+        self.rounds += int(rounds)
+
+    def _check_storage(self, machine: int) -> None:
+        words = self.storage_words(machine)
+        self.max_storage_words = max(self.max_storage_words, words)
+        if words > self.config.capacity:
+            raise MemoryBudgetExceeded(
+                f"machine {machine} stores {words} words > capacity "
+                f"{self.config.capacity} (= {self.config.slack}·S)"
+            )
+
+    # ------------------------------------------------------------------
+    def all_records(self) -> list:
+        out = []
+        for store in self.stores:
+            out.extend(store)
+        return out

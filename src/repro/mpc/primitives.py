@@ -1,0 +1,176 @@
+"""Constant-round MPC primitives (Section 5, Lemma 5.1).
+
+* :func:`mpc_sort` — sorting (Definition 5.1) in O(1) rounds.  The paper
+  cites the Goodrich/[GSZ11] BSP sorting algorithm; re-implementing its
+  multi-level splitter machinery is out of scope, so the *split points* are
+  computed by an oracle while every actual record movement still flows
+  through :class:`~repro.mpc.machine.MPCEngine` exchanges with the S-word
+  send/receive budgets enforced (the movement pattern — each machine ends
+  with a contiguous, balanced rank range — is exactly the output
+  distribution [GSZ11] guarantees, at the documented O(1) round charge).
+* :func:`mpc_prefix_sums` — prefix sums w.r.t. an associative operator over
+  the sorted order (Definition 5.2): machine-local sums, machine-summary
+  combination, local completion.
+* :func:`mpc_set_difference` — Definition 5.3, realized by sorting tagged
+  records so that B-records precede A-records of the same key and marking
+  collisions; equivalent guarantees to the paper's aggregation-tree search
+  (DESIGN.md §2.5).
+* :func:`mpc_group_ranks` — Corollary 5.2: every element of every group
+  learns its rank within the group and the group size.
+
+Round charges: sort = 4, prefix sums = 3, group ranks = 8, set
+difference = 6 (sort + merge-boundary round + relabel).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mpc.machine import MPCEngine
+
+__all__ = [
+    "mpc_sort",
+    "mpc_prefix_sums",
+    "mpc_set_difference",
+    "mpc_group_ranks",
+    "aggregation_fanout",
+    "SORT_ROUNDS",
+]
+
+SORT_ROUNDS = 4
+PREFIX_ROUNDS = 3
+SET_DIFFERENCE_ROUNDS = 2  # on top of the sort
+
+
+def aggregation_fanout(config) -> int:
+    """Fan-out √S of the aggregation trees of Definition 5.4."""
+    return max(2, int(math.isqrt(max(4, config.memory_words))))
+
+
+def mpc_sort(engine: MPCEngine, key=None) -> None:
+    """Sort all records across machines (Definition 5.1).
+
+    Post-condition: machine i holds the records of global sorted ranks
+    [i·⌈N/M⌉, (i+1)·⌈N/M⌉), locally sorted.  Raises if the balanced load
+    would not fit a machine (cannot happen when N ≤ M·S/slack).
+    """
+    key = key or (lambda r: r)
+    m = engine.num_machines
+    total = sum(len(store) for store in engine.stores)
+    if total == 0:
+        engine.charge_rounds(SORT_ROUNDS)
+        return
+    per_machine = max(1, math.ceil(total / m))
+
+    # Oracle split points: global ranks of each record (see docstring).
+    decorated = []
+    for machine, store in enumerate(engine.stores):
+        for idx, record in enumerate(store):
+            decorated.append((key(record), machine, idx, record))
+    decorated.sort(key=lambda t: (t[0], t[1], t[2]))
+    destination: dict = {}
+    for rank, (_k, machine, idx, _record) in enumerate(decorated):
+        destination[(machine, idx)] = min(rank // per_machine, m - 1)
+
+    engine.charge_rounds(SORT_ROUNDS - 1)  # splitter selection ([GSZ11])
+
+    def route(src, store):
+        return [(destination[(src, idx)], record) for idx, record in enumerate(store)]
+
+    engine.exchange(route)  # the final routing round, budget-checked
+    for store in engine.stores:
+        store.sort(key=key)
+
+
+def mpc_prefix_sums(engine: MPCEngine, value_fn, combine, annotate) -> None:
+    """Prefix sums over the current record order (Definition 5.2).
+
+    ``value_fn(record)`` extracts the value, ``combine`` is associative and
+    ``annotate(record, prefix)`` rebuilds the record with its inclusive
+    prefix.  Machine-local sums + machine-summary scan + local completion;
+    3 rounds.
+    """
+    locals_: list = []
+    for store in engine.stores:
+        acc = None
+        for record in store:
+            v = value_fn(record)
+            acc = v if acc is None else combine(acc, v)
+        locals_.append(acc)
+    engine.charge_rounds(PREFIX_ROUNDS)
+    exclusive: list = []
+    acc = None
+    for value in locals_:
+        exclusive.append(acc)
+        if value is not None:
+            acc = value if acc is None else combine(acc, value)
+    for machine, store in enumerate(engine.stores):
+        acc = exclusive[machine]
+        rebuilt = []
+        for record in store:
+            v = value_fn(record)
+            acc = v if acc is None else combine(acc, v)
+            rebuilt.append(annotate(record, acc))
+        engine.stores[machine] = rebuilt
+
+
+def mpc_group_ranks(engine: MPCEngine, key_fn, group_fn, annotate) -> None:
+    """Corollary 5.2: annotate each record with (rank in group, group size).
+
+    Sorts by ``key_fn`` (which must order records of one group together),
+    then runs the forward prefix-sum sweep of the paper's proof; the
+    reverse sweep is folded into a group-total pass.  ``annotate(record,
+    rank, size)`` rebuilds the record (rank is 1-based).
+    """
+    mpc_sort(engine, key=key_fn)
+
+    def value(record):
+        return (group_fn(record), 1)
+
+    def combine(a, b):
+        if a[0] == b[0]:
+            return (a[0], a[1] + b[1])
+        return b
+
+    mpc_prefix_sums(engine, value, combine, lambda r, p: (r, p[1]))
+
+    engine.charge_rounds(PREFIX_ROUNDS)  # the reverse sweep
+    totals: dict = {}
+    for store in engine.stores:
+        for record, rank in store:
+            g = group_fn(record)
+            totals[g] = max(totals.get(g, 0), rank)
+    for machine, store in enumerate(engine.stores):
+        engine.stores[machine] = [
+            annotate(record, rank, totals[group_fn(record)])
+            for record, rank in store
+        ]
+
+
+def mpc_set_difference(engine: MPCEngine, classify) -> None:
+    """Definition 5.3 via sort-merge (see module docstring).
+
+    ``classify(record) -> ('a' | 'b', set_id, value)``.  Afterwards every
+    A-record is stored as ``(record, present)`` where ``present`` tells
+    whether its (set_id, value) occurs among the B-records; B-records are
+    dropped.
+    """
+    for machine, store in enumerate(engine.stores):
+        engine.stores[machine] = [
+            ((set_id, value, 0 if kind == "b" else 1), record)
+            for kind, set_id, value, record in (
+                (*classify(r), r) for r in store
+            )
+        ]
+    mpc_sort(engine, key=lambda t: t[0])
+
+    engine.charge_rounds(SET_DIFFERENCE_ROUNDS)  # boundary info + relabel
+    results: list = [[] for _ in range(engine.num_machines)]
+    current_b = None
+    for machine, store in enumerate(engine.stores):
+        for (set_id, value, kind), record in store:
+            if kind == 0:
+                current_b = (set_id, value)
+            else:
+                results[machine].append((record, current_b == (set_id, value)))
+    engine.stores = results

@@ -1,0 +1,138 @@
+"""Linial's deterministic color reduction (engine version).
+
+Theorem 1.1's proof starts from a K = O(Δ²) coloring computed with Linial's
+algorithm [Lin92] in O(log* n) rounds.  We implement the classic
+polynomial-based construction: a proper K-coloring is viewed as assigning
+each node a distinct-from-neighbors polynomial of degree t over GF(q)
+(its color's base-q digits, t = ⌈log_q K⌉ - 1).  Two distinct degree-t
+polynomials agree on at most t points, so if q > Δ·t every node finds an
+evaluation point a where it differs from all neighbors; the pair
+(a, p_u(a)) ∈ [q²] is the new color.  Iterating shrinks K to O(Δ²) in
+O(log* K) one-round steps (each step only needs the neighbors' current
+colors, which fit in CONGEST messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["linial_step", "linial_coloring", "LinialResult", "next_prime"]
+
+
+def _is_prime(x: int) -> bool:
+    if x < 2:
+        return False
+    if x % 2 == 0:
+        return x == 2
+    f = 3
+    while f * f <= x:
+        if x % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(x: int) -> int:
+    """Smallest prime >= x."""
+    candidate = max(2, int(x))
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def _choose_field(num_colors: int, max_degree: int) -> tuple[int, int]:
+    """Smallest prime q with q > Δ·t where t = ⌈log_q K⌉ - 1 digits suffice."""
+    delta = max(1, max_degree)
+    q = next_prime(delta + 2)
+    while True:
+        # Number of base-q digits needed for colors in [num_colors].
+        digits = 1
+        capacity = q
+        while capacity < num_colors:
+            capacity *= q
+            digits += 1
+        t = digits - 1
+        if t == 0:
+            # Colors already fit into [q]; no reduction possible at this q.
+            return q, 0
+        if q > delta * t:
+            return q, t
+        q = next_prime(q + 1)
+
+
+def linial_step(
+    graph: Graph, colors: np.ndarray, num_colors: int
+) -> tuple[np.ndarray, int]:
+    """One Linial reduction round: [K] colors -> [q²] colors.
+
+    Returns ``(new_colors, q*q)``.  Requires the input coloring to be proper.
+    The step is a single CONGEST round (each node learns neighbors' colors).
+    """
+    colors = np.asarray(colors, dtype=np.int64)
+    q, t = _choose_field(num_colors, graph.max_degree)
+    if t == 0:
+        return colors.copy(), num_colors
+    # Base-q digit matrix: digits[v, i] = i-th digit of colors[v].
+    digits = np.empty((graph.n, t + 1), dtype=np.int64)
+    rem = colors.copy()
+    for i in range(t + 1):
+        digits[:, i] = rem % q
+        rem //= q
+    # Polynomial values at every point a in [q]:  values[v, a] = p_v(a) mod q.
+    points = np.arange(q, dtype=np.int64)
+    values = np.zeros((graph.n, q), dtype=np.int64)
+    for i in range(t, -1, -1):
+        values = (values * points[None, :] + digits[:, i][:, None]) % q
+    new_colors = np.empty(graph.n, dtype=np.int64)
+    for v in range(graph.n):
+        nbrs = graph.neighbors(v)
+        if len(nbrs):
+            collision = (values[nbrs] == values[v][None, :]).any(axis=0)
+        else:
+            collision = np.zeros(q, dtype=bool)
+        free = np.flatnonzero(~collision)
+        if len(free) == 0:  # impossible when q > Δ·t
+            raise AssertionError(
+                f"Linial step found no free evaluation point at node {v}"
+            )
+        a = int(free[0])
+        new_colors[v] = a * q + values[v, a]
+    return new_colors, q * q
+
+
+@dataclass
+class LinialResult:
+    """Outcome of the iterated Linial reduction."""
+
+    colors: np.ndarray
+    num_colors: int
+    iterations: int  #: communication rounds consumed (one per step)
+
+
+def linial_coloring(
+    graph: Graph, initial_colors: np.ndarray | None = None, num_colors: int | None = None
+) -> LinialResult:
+    """Iterate :func:`linial_step` until no further progress: K -> O(Δ²).
+
+    With no ``initial_colors``, node ids are used (the paper's identifier
+    coloring, K = n).  The iteration count is O(log* K).
+    """
+    if initial_colors is None:
+        colors = np.arange(graph.n, dtype=np.int64)
+        num_colors = max(1, graph.n)
+    else:
+        colors = np.asarray(initial_colors, dtype=np.int64)
+        if num_colors is None:
+            num_colors = int(colors.max(initial=0)) + 1
+    iterations = 0
+    while True:
+        new_colors, new_k = linial_step(graph, colors, num_colors)
+        if new_k >= num_colors:
+            break
+        colors, num_colors = new_colors, new_k
+        iterations += 1
+    return LinialResult(colors=colors, num_colors=num_colors, iterations=iterations)

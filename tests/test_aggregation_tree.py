@@ -1,0 +1,90 @@
+"""Definition 5.4: the aggregation tree structure."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.aggregation_tree import AggregationTreeStructure
+from repro.mpc.machine import MPCConfig, MPCEngine
+
+
+def build_structure(records, machines=6, memory=16):
+    engine = MPCEngine(MPCConfig(num_machines=machines, memory_words=memory))
+    engine.scatter(records)
+    structure = AggregationTreeStructure(
+        engine,
+        group_fn=lambda r: r[0],
+        key_fn=lambda r: (r[0], r[1]),
+    )
+    return engine, structure
+
+
+class TestStructure:
+    def test_groups_stored_contiguously_after_build(self):
+        records = [(g, v) for g in ("a", "b", "c") for v in range(8)]
+        engine, structure = build_structure(records)
+        # Sorted lexicographic placement: group blocks are contiguous.
+        seen = []
+        for store in engine.stores:
+            for record in store:
+                seen.append(record)
+        assert seen == sorted(seen)
+
+    def test_validate_passes(self):
+        records = [(g, v) for g in range(5) for v in range(10)]
+        _engine, structure = build_structure(records, machines=8, memory=16)
+        structure.validate()
+
+    def test_fanout_and_depth(self):
+        records = [(0, v) for v in range(64)]
+        engine, structure = build_structure(records, machines=16, memory=16)
+        structure.validate()
+        tree = structure.trees[0]
+        assert tree.depth >= 1
+        # fan-out = √S = 4; 16 leaves need depth 2.
+        assert structure.fanout == 4
+        assert tree.depth <= 3
+
+    def test_inner_nodes_are_fresh_machines(self):
+        records = [(0, v) for v in range(48)]
+        engine, structure = build_structure(records, machines=12, memory=16)
+        inner = {
+            m
+            for tree in structure.trees.values()
+            for level in tree.levels[1:]
+            for m in level
+        }
+        assert all(m >= engine.num_machines for m in inner)
+
+
+class TestAggregation:
+    def test_group_aggregate_correct(self):
+        records = [("g1", v) for v in range(10)] + [("g2", v) for v in (5, 7)]
+        engine, structure = build_structure(records)
+        total = structure.aggregate_group(
+            "g1", value_fn=lambda r: r[1], combine=lambda a, b: a + b
+        )
+        assert total == sum(range(10))
+        assert structure.aggregate_group(
+            "g2", value_fn=lambda r: r[1], combine=lambda a, b: a + b
+        ) == 12
+
+    def test_global_aggregate_correct(self):
+        records = [(g, 1) for g in range(4) for _ in range(6)]
+        engine, structure = build_structure(records)
+        count = structure.aggregate_all(
+            value_fn=lambda r: r[1], combine=lambda a, b: a + b
+        )
+        assert count == 24
+
+    def test_rounds_charged_per_aggregation(self):
+        records = [(0, v) for v in range(20)]
+        engine, structure = build_structure(records)
+        before = engine.rounds
+        structure.aggregate_group(0, lambda r: r[1], lambda a, b: a + b)
+        assert engine.rounds > before
+
+    def test_unknown_group_raises(self):
+        records = [(0, 1)]
+        _engine, structure = build_structure(records)
+        with pytest.raises(KeyError):
+            structure.aggregate_group("missing", lambda r: r, lambda a, b: a)

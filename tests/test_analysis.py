@@ -1,0 +1,52 @@
+"""The analysis helpers the benchmark harness relies on."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import bounded_by, growth_ratio, loglog_slope
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_render_contains_all_cells(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", 0.00123)
+        text = table.render()
+        assert "demo" in text and "2.50" in text and "0.0012" in text
+
+    def test_rejects_wrong_width(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        assert "empty" in Table("empty", ["x"]).render()
+
+
+class TestFitting:
+    def test_loglog_slope_recovers_exponent(self):
+        xs = [2, 4, 8, 16, 32]
+        for exponent in (0.5, 1.0, 2.0):
+            ys = [x**exponent for x in xs]
+            assert loglog_slope(xs, ys) == pytest.approx(exponent, abs=1e-9)
+
+    def test_loglog_slope_on_noisy_linear(self):
+        xs = [10, 20, 40, 80]
+        ys = [9.5, 21, 39, 83]
+        assert loglog_slope(xs, ys) == pytest.approx(1.0, abs=0.1)
+
+    def test_loglog_requires_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_growth_ratio(self):
+        assert growth_ratio([2, 4, 10]) == 5.0
+        with pytest.raises(ValueError):
+            growth_ratio([0, 1])
+
+    def test_bounded_by(self):
+        assert bounded_by([1, 2], [2, 4])
+        assert not bounded_by([3, 2], [2, 4])
+        assert bounded_by([3, 2], [2, 4], slack=2.0)

@@ -1,0 +1,43 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_color_command(self, capsys):
+        assert main(["color", "--family", "cycle", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "colored n=12" in out
+        assert "seed_fixing" in out
+
+    def test_color_with_clique_solver(self, capsys):
+        assert main(
+            ["color", "--family", "regular", "--n", "16", "--degree", "3",
+             "--solver", "clique"]
+        ) == 0
+        assert "clique" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--family", "cycle", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        for solver in ("congest", "polylog", "clique", "mpc-linear"):
+            assert solver in out
+
+    def test_decompose_command(self, capsys):
+        assert main(["decompose", "--family", "grid", "--n", "25"]) == 0
+        assert "decomposition" in capsys.readouterr().out
+
+    def test_unknown_family_exits(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--family", "hypercube"])
+
+    def test_unknown_solver_exits(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--solver", "quantum"])
+
+    def test_odd_regular_product_fixed_up(self, capsys):
+        assert main(
+            ["color", "--family", "regular", "--n", "15", "--degree", "3"]
+        ) == 0

@@ -1,0 +1,91 @@
+"""Theorem 1.3: the CONGESTED CLIQUE solver."""
+
+import numpy as np
+import pytest
+
+from repro.cliquemodel.model import CliqueSpec, lenzen_routing_rounds
+from repro.cliquemodel.coloring import solve_list_coloring_clique
+from repro.core.instances import make_delta_plus_one_instance, make_random_lists_instance
+from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.validation import verify_proper_list_coloring
+from repro.graphs import generators as gen
+
+
+class TestLenzenRouting:
+    def test_accepts_feasible_demand(self):
+        spec = CliqueSpec(n=8)
+        rounds = lenzen_routing_rounds(spec, [8] * 8, [8] * 8)
+        assert rounds > 0
+
+    def test_rejects_oversend(self):
+        spec = CliqueSpec(n=8)
+        with pytest.raises(ValueError):
+            lenzen_routing_rounds(spec, [9, 0, 0, 0, 0, 0, 0, 0], [0] * 8)
+
+    def test_rejects_overreceive(self):
+        spec = CliqueSpec(n=8)
+        with pytest.raises(ValueError):
+            lenzen_routing_rounds(spec, [0] * 8, [0, 20, 0, 0, 0, 0, 0, 0])
+
+
+class TestCliqueColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            gen.cycle_graph(24),
+            gen.random_regular_graph(32, 4, seed=0),
+            gen.complete_graph(8),
+            gen.star_graph(16),
+        ],
+        ids=["cycle", "regular", "clique", "star"],
+    )
+    def test_proper_coloring(self, graph):
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_clique(instance)
+        verify_proper_list_coloring(instance, result.colors)
+
+    def test_random_lists(self):
+        graph = gen.random_regular_graph(24, 4, seed=1)
+        instance = make_random_lists_instance(
+            graph, 48, np.random.default_rng(2), slack=1
+        )
+        result = solve_list_coloring_clique(instance)
+        verify_proper_list_coloring(instance, result.colors)
+
+    def test_no_diameter_dependence(self):
+        """Same n/Δ, very different D: clique rounds must be close."""
+        low_d = make_delta_plus_one_instance(
+            gen.random_regular_graph(64, 3, seed=2)
+        )
+        high_d = make_delta_plus_one_instance(gen.cycle_graph(64))
+        r_low = solve_list_coloring_clique(low_d).rounds.total
+        r_high = solve_list_coloring_clique(high_d).rounds.total
+        assert r_high <= 3 * r_low  # no D = 32 vs 6 blow-up
+
+    def test_clique_beats_congest_on_high_diameter(self):
+        instance = make_delta_plus_one_instance(gen.cycle_graph(48))
+        clique_rounds = solve_list_coloring_clique(instance).rounds.total
+        congest_rounds = solve_list_coloring_congest(instance).rounds.total
+        assert clique_rounds < congest_rounds
+
+    def test_acceleration_kicks_in(self):
+        """Later passes fix more bits per phase (the log log Δ mechanism)."""
+        graph = gen.random_regular_graph(96, 4, seed=3)
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_clique(instance, endgame=False)
+        bits = [p.bits_per_phase for p in result.passes]
+        assert len(bits) >= 2
+        assert bits[-1] > bits[0]
+
+    def test_endgame_engages_on_dense_graphs(self):
+        instance = make_delta_plus_one_instance(gen.complete_graph(12))
+        result = solve_list_coloring_clique(instance)
+        assert result.endgame_nodes > 0
+        verify_proper_list_coloring(instance, result.colors)
+
+    def test_empty_graph(self):
+        from repro.graphs.graph import Graph
+
+        instance = make_delta_plus_one_instance(Graph(0, []))
+        result = solve_list_coloring_clique(instance)
+        assert result.colors.size == 0

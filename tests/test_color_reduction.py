@@ -1,0 +1,60 @@
+"""The classic color-elimination baseline (Section 1.3 related work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import verify_proper_coloring
+from repro.graphs import generators as gen
+from repro.substrates.color_reduction import (
+    eliminate_top_colors,
+    reduce_to_delta_plus_one,
+)
+from repro.substrates.linial import linial_coloring
+
+
+class TestColorElimination:
+    def test_reduces_to_delta_plus_one(self):
+        graph = gen.random_regular_graph(24, 4, seed=1)
+        colors, rounds = reduce_to_delta_plus_one(
+            graph, np.arange(24, dtype=np.int64), 24
+        )
+        verify_proper_coloring(graph, colors)
+        assert colors.max() <= graph.max_degree
+        assert rounds == 24 - (graph.max_degree + 1)
+
+    def test_linial_then_elimination_pipeline(self):
+        """The full classic O(Δ² + log* n) baseline pipeline."""
+        graph = gen.random_regular_graph(64, 3, seed=2)
+        linial = linial_coloring(graph)
+        colors, rounds = reduce_to_delta_plus_one(
+            graph, linial.colors, linial.num_colors
+        )
+        verify_proper_coloring(graph, colors)
+        assert colors.max() <= 3
+        assert rounds == linial.num_colors - 4
+
+    def test_partial_target(self):
+        graph = gen.cycle_graph(12)
+        colors, rounds = eliminate_top_colors(
+            graph, np.arange(12, dtype=np.int64), 12, target=6
+        )
+        verify_proper_coloring(graph, colors)
+        assert colors.max() < 6
+        assert rounds == 6
+
+    def test_rejects_below_delta_plus_one(self):
+        graph = gen.complete_graph(4)
+        with pytest.raises(ValueError):
+            eliminate_top_colors(graph, np.arange(4), 4, target=2)
+
+    def test_rejects_improper_input(self):
+        graph = gen.path_graph(3)
+        with pytest.raises(ValueError):
+            eliminate_top_colors(graph, np.zeros(3, dtype=np.int64), 3, target=2)
+
+    def test_no_op_when_already_small(self):
+        graph = gen.cycle_graph(6)
+        initial = np.array([0, 1, 0, 1, 0, 1], dtype=np.int64)
+        colors, rounds = eliminate_top_colors(graph, initial, 2, target=3)
+        np.testing.assert_array_equal(colors, initial)
+        assert rounds == 0

@@ -1,0 +1,124 @@
+"""Model-fidelity tests: the message-level CONGEST layer."""
+
+import numpy as np
+import pytest
+
+from repro.congest.model import BandwidthExceeded, CongestSpec, message_bits
+from repro.congest.programs import GeneratorProgram, bfs_program
+from repro.congest.runner import run_congest_coloring, simulate_bfs_tree
+from repro.congest.simulator import SyncSimulator
+from repro.core.instances import make_delta_plus_one_instance
+from repro.core.validation import verify_proper_list_coloring
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+class TestMessageSizes:
+    def test_int_bits(self):
+        assert message_bits(0) == 1
+        assert message_bits(1) == 2
+        assert message_bits(255) == 9
+
+    def test_tuple_bits_sum_parts(self):
+        assert message_bits((1, 2)) > message_bits(1)
+
+    def test_float_is_64_bits(self):
+        assert message_bits(1.5) == 64
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            message_bits("hello")
+
+    def test_budget_enforced(self):
+        spec = CongestSpec(n=16, factor=1)  # 4-bit budget
+        with pytest.raises(BandwidthExceeded):
+            spec.check(0, 1, 12345678)
+
+
+class TestBFSTree:
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_path_graph_depths(self, n):
+        graph = gen.path_graph(n)
+        tree, rounds = simulate_bfs_tree(graph, 0)
+        for v in range(n):
+            parent, depth, _children = tree[v]
+            assert depth == v  # path: node v at distance v from node 0
+            assert parent == (v - 1 if v else -1)
+        assert rounds >= n - 1  # at least eccentricity(root) rounds
+
+    def test_cycle_parents_and_children(self):
+        graph = gen.cycle_graph(8)
+        tree, _rounds = simulate_bfs_tree(graph, 0)
+        parent, depth, children = tree[0]
+        assert parent == -1 and depth == 0
+        assert set(children) == {1, 7}
+        # Children lists are consistent with parents.
+        for v in range(8):
+            p, _d, _c = tree[v]
+            if p != -1:
+                assert v in tree[p][2]
+
+    def test_depths_match_engine_bfs(self):
+        graph = gen.random_regular_graph(16, 3, seed=5)
+        tree, _ = simulate_bfs_tree(graph, 0)
+        dist = graph.bfs_levels([0])
+        for v in range(16):
+            assert tree[v][1] == dist[v]
+
+
+class TestFullColoringProgram:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            gen.cycle_graph(8),
+            gen.path_graph(6),
+            gen.complete_graph(5),
+            gen.random_regular_graph(10, 3, seed=2),
+        ],
+        ids=["cycle8", "path6", "k5", "reg10"],
+    )
+    def test_produces_proper_list_coloring(self, graph):
+        instance = make_delta_plus_one_instance(graph)
+        stats = run_congest_coloring(instance)
+        assert (stats.colors >= 0).all()
+        verify_proper_list_coloring(instance, stats.colors)
+
+    def test_messages_respect_bandwidth(self):
+        graph = gen.cycle_graph(8)
+        instance = make_delta_plus_one_instance(graph)
+        stats = run_congest_coloring(instance)
+        assert stats.max_message_bits <= stats.bandwidth_bits
+
+    def test_round_count_scales_with_diameter(self):
+        small = make_delta_plus_one_instance(gen.cycle_graph(6))
+        large = make_delta_plus_one_instance(gen.cycle_graph(18))
+        rounds_small = run_congest_coloring(small).total_rounds
+        rounds_large = run_congest_coloring(large).total_rounds
+        assert rounds_large > rounds_small
+
+
+class TestRandomListsAtMessageLevel:
+    def test_random_list_instance(self):
+        """The message-level pipeline handles general list instances, not
+        just the (Δ+1) reduction."""
+        import numpy as np
+
+        from repro.core.instances import make_random_lists_instance
+
+        graph = gen.cycle_graph(8)
+        instance = make_random_lists_instance(
+            graph, 16, np.random.default_rng(4), slack=1
+        )
+        stats = run_congest_coloring(instance)
+        verify_proper_list_coloring(instance, stats.colors)
+        assert stats.max_message_bits <= stats.bandwidth_bits
+
+    def test_disconnected_graph_rejected_by_bfs(self):
+        """Single-root BFS cannot span a disconnected graph; the runner
+        reports it instead of silently miscoloring."""
+        from repro.graphs.graph import Graph
+
+        graph = Graph(4, [(0, 1), (2, 3)])
+        instance = make_delta_plus_one_instance(graph)
+        with pytest.raises(RuntimeError):
+            run_congest_coloring(instance)

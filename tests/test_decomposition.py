@@ -1,0 +1,141 @@
+"""Theorem 3.1 (carving) and Corollary 1.2 (polylog coloring)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.instances import make_delta_plus_one_instance
+from repro.core.validation import verify_proper_list_coloring
+from repro.decomposition.decomposed_coloring import solve_list_coloring_polylog
+from repro.decomposition.network_decomposition import Cluster, NetworkDecomposition
+from repro.decomposition.rozhon_ghaffari import carve_class, decompose
+from repro.graphs import generators as gen
+
+GRAPHS = {
+    "cycle40": lambda: gen.cycle_graph(40),
+    "grid6x6": lambda: gen.grid_graph(6, 6),
+    "reg48": lambda: gen.random_regular_graph(48, 3, seed=0),
+    "tree50": lambda: gen.random_tree(50, seed=1),
+    "gnp": lambda: gen.gnp_graph(40, 0.1, seed=2),
+}
+
+
+class TestCarving:
+    @pytest.mark.parametrize("name", sorted(GRAPHS), ids=sorted(GRAPHS))
+    def test_clusters_at_least_half_and_nonadjacent(self, name):
+        graph = GRAPHS[name]()
+        alive = np.ones(graph.n, dtype=bool)
+        result = carve_class(graph, alive)
+        clustered = (result.center >= 0).sum()
+        assert clustered >= graph.n / 2
+        # Alive clusters must be pairwise non-adjacent.
+        for u, v in graph.edge_list():
+            cu, cv = result.center[u], result.center[v]
+            if cu >= 0 and cv >= 0:
+                assert cu == cv, f"adjacent clusters {cu} != {cv}"
+
+    def test_dead_plus_clustered_partition_alive(self):
+        graph = gen.cycle_graph(30)
+        alive = np.ones(30, dtype=bool)
+        result = carve_class(graph, alive)
+        for v in range(30):
+            assert (result.center[v] >= 0) != bool(result.dead[v])
+
+    def test_respects_alive_mask(self):
+        graph = gen.cycle_graph(20)
+        alive = np.zeros(20, dtype=bool)
+        alive[:10] = True
+        result = carve_class(graph, alive)
+        assert (result.center[10:] == -1).all()
+        assert not result.dead[10:].any()
+
+    def test_radius_bound(self):
+        """Radius O(B² log n) — generous cap, but finite and tracked."""
+        graph = gen.random_regular_graph(64, 3, seed=3)
+        result = carve_class(graph, np.ones(64, dtype=bool))
+        b = math.ceil(math.log2(64)) + 1
+        for radius in result.radius.values():
+            assert radius <= 2 * b * b * math.ceil(math.log2(64))
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("name", sorted(GRAPHS), ids=sorted(GRAPHS))
+    def test_validates_definition_3_1(self, name):
+        graph = GRAPHS[name]()
+        decomposition = decompose(graph)  # validate=True built in
+        assert decomposition.num_colors <= math.ceil(math.log2(graph.n)) + 2
+
+    def test_weak_diameter_polylog(self):
+        graph = gen.cycle_graph(64)
+        decomposition = decompose(graph)
+        bound = math.ceil(math.log2(64)) ** 3
+        assert decomposition.weak_diameter() <= bound
+
+    def test_congestion_measured(self):
+        graph = gen.grid_graph(6, 6)
+        decomposition = decompose(graph)
+        assert decomposition.congestion() >= 1
+
+
+class TestValidatorCatchesBadDecompositions:
+    def test_uncovered_node(self):
+        graph = gen.path_graph(3)
+        decomposition = NetworkDecomposition(
+            graph=graph,
+            clusters=[Cluster(np.array([0, 1]), 1, 0, [(0, 1)])],
+            num_colors=1,
+        )
+        with pytest.raises(AssertionError):
+            decomposition.validate()
+
+    def test_adjacent_same_color(self):
+        graph = gen.path_graph(2)
+        decomposition = NetworkDecomposition(
+            graph=graph,
+            clusters=[
+                Cluster(np.array([0]), 1, 0, []),
+                Cluster(np.array([1]), 1, 1, []),
+            ],
+            num_colors=1,
+        )
+        with pytest.raises(AssertionError):
+            decomposition.validate()
+
+    def test_tree_edge_not_in_graph(self):
+        graph = gen.path_graph(3)  # no edge (0, 2)
+        decomposition = NetworkDecomposition(
+            graph=graph,
+            clusters=[
+                Cluster(np.array([0, 1, 2]), 1, 0, [(0, 1), (0, 2)]),
+            ],
+            num_colors=1,
+        )
+        with pytest.raises(AssertionError):
+            decomposition.validate()
+
+
+class TestCorollary12:
+    @pytest.mark.parametrize("name", ["cycle40", "grid6x6", "reg48"])
+    def test_proper_coloring(self, name):
+        graph = GRAPHS[name]()
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_polylog(instance)
+        verify_proper_list_coloring(instance, result.colors)
+
+    def test_rounds_do_not_scale_with_diameter(self):
+        """F3: for cycles, Theorem 1.1 rounds grow with n (D = n/2) while
+        Corollary 1.2 rounds grow polylogarithmically."""
+        from repro.core.list_coloring import solve_list_coloring_congest
+
+        small = make_delta_plus_one_instance(gen.cycle_graph(32))
+        large = make_delta_plus_one_instance(gen.cycle_graph(128))
+        congest_growth = (
+            solve_list_coloring_congest(large).rounds.total
+            / solve_list_coloring_congest(small).rounds.total
+        )
+        polylog_growth = (
+            solve_list_coloring_polylog(large).rounds.total
+            / solve_list_coloring_polylog(small).rounds.total
+        )
+        assert polylog_growth < congest_growth

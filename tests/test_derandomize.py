@@ -1,0 +1,96 @@
+"""Method of conditional expectations (Lemma 2.6): Eq. (7) and seed quality."""
+
+import numpy as np
+import pytest
+
+from repro.core.derandomize import derandomize_phase, fix_bits_greedily
+from repro.core.potential import PhaseEstimator
+from repro.hashing.pairwise import PairwiseFamily
+
+
+class TestFixBitsGreedily:
+    def test_finds_global_minimum_on_monotone_array(self):
+        values = np.arange(16.0)
+        idx, trace = fix_bits_greedily(values)
+        assert idx == 0
+        assert len(trace) == 4
+
+    def test_result_never_exceeds_mean(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            values = rng.random(32)
+            idx, trace = fix_bits_greedily(values)
+            assert values[idx] <= values.mean() + 1e-12
+
+    def test_trace_is_monotone_nonincreasing(self):
+        rng = np.random.default_rng(3)
+        values = rng.random(64)
+        idx, trace = fix_bits_greedily(values)
+        previous = values.mean()
+        for t in trace:
+            assert t <= previous + 1e-12
+            previous = t
+        assert trace[-1] == pytest.approx(values[idx])
+
+    def test_ties_prefer_zero_bit(self):
+        values = np.array([1.0, 1.0, 1.0, 1.0])
+        idx, _trace = fix_bits_greedily(values)
+        assert idx == 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fix_bits_greedily(np.arange(3.0))
+
+
+def small_estimator(seed=0):
+    rng = np.random.default_rng(seed)
+    n = 8
+    psi = np.arange(n, dtype=np.int64)
+    counts = rng.integers(1, 4, size=(n, 2)).astype(np.int64)
+    eu, ev = [], []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.4:
+                eu.append(u)
+                ev.append(v)
+    family = PairwiseFamily(3, 5)
+    return PhaseEstimator(
+        family, psi, counts,
+        np.array(eu, dtype=np.int64), np.array(ev, dtype=np.int64),
+    )
+
+
+class TestDerandomizePhase:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_final_value_beats_expectation(self, seed):
+        choice = derandomize_phase(small_estimator(seed))
+        assert choice.final_value <= choice.initial_expectation + 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_trace_length_is_seed_bits(self, seed):
+        est = small_estimator(seed)
+        choice = derandomize_phase(est)
+        assert len(choice.conditional_trace) == est.family.m + est.b
+        assert choice.seed_bits == est.family.m + est.b
+
+    def test_trace_monotone(self):
+        choice = derandomize_phase(small_estimator(2))
+        previous = choice.initial_expectation
+        for value in choice.conditional_trace:
+            assert value <= previous + 1e-9
+            previous = value
+
+    def test_chosen_seed_realizes_final_value(self):
+        est = small_estimator(4)
+        choice = derandomize_phase(est)
+        exact = est.exact_by_sigma(choice.s1)
+        assert exact[choice.sigma] == pytest.approx(choice.final_value)
+
+    def test_beats_average_random_seed(self):
+        """The derandomized seed is at least as good as the average seed —
+        the whole point of the method of conditional expectations."""
+        est = small_estimator(6)
+        choice = derandomize_phase(est)
+        s1s = np.arange(1 << est.family.m, dtype=np.int64)
+        average = est.expected_by_s1(s1s).mean()
+        assert choice.final_value <= average + 1e-9

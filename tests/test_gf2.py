@@ -1,0 +1,123 @@
+"""GF(2^m) arithmetic: field axioms, irreducibility, vectorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.gf2 import GF2m, find_irreducible, get_field, is_irreducible
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        assert is_irreducible(0b111)  # x^2 + x + 1
+        assert is_irreducible(0b1011)  # x^3 + x + 1
+        assert is_irreducible(0b10011)  # x^4 + x + 1
+
+    def test_known_reducible(self):
+        assert not is_irreducible(0b101)  # x^2 + 1 = (x+1)^2
+        assert not is_irreducible(0b110)  # divisible by x
+        assert not is_irreducible(0b1111)  # x^3+x^2+x+1 = (x+1)(x^2+1)
+
+    @pytest.mark.parametrize("m", list(range(1, 17)))
+    def test_find_irreducible_has_right_degree(self, m):
+        poly = find_irreducible(m)
+        assert poly.bit_length() - 1 == m
+        assert is_irreducible(poly)
+
+    def test_count_of_degree_4_irreducibles(self):
+        # There are exactly 3 irreducible polynomials of degree 4 over GF(2).
+        count = sum(
+            1 for p in range(1 << 4, 1 << 5) if is_irreducible(p)
+        )
+        assert count == 3
+
+
+class TestFieldAxioms:
+    @pytest.fixture(params=[2, 3, 5, 8])
+    def field(self, request):
+        return get_field(request.param)
+
+    def test_multiplicative_identity(self, field):
+        for a in range(field.order):
+            assert field.mul(a, 1) == a
+
+    def test_zero_annihilates(self, field):
+        for a in range(field.order):
+            assert field.mul(a, 0) == 0
+
+    def test_commutativity_exhaustive_small(self):
+        field = get_field(4)
+        for a in range(16):
+            for b in range(16):
+                assert field.mul(a, b) == field.mul(b, a)
+
+    def test_associativity_exhaustive_small(self):
+        field = get_field(3)
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert field.mul(field.mul(a, b), c) == field.mul(
+                        a, field.mul(b, c)
+                    )
+
+    def test_distributivity_exhaustive_small(self):
+        field = get_field(3)
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+
+    def test_inverses(self, field):
+        for a in range(1, field.order):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_multiplication_is_a_bijection(self, field):
+        for a in range(1, field.order):
+            images = {field.mul(a, b) for b in range(field.order)}
+            assert images == set(range(field.order))
+
+    def test_pow_matches_repeated_mul(self):
+        field = get_field(5)
+        a = 7
+        acc = 1
+        for e in range(10):
+            assert field.pow(a, e) == acc
+            acc = field.mul(acc, a)
+
+
+class TestVectorized:
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.lists(st.integers(min_value=0, max_value=4000), min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=4000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mul_vec_matches_scalar(self, m, values, scalar):
+        field = get_field(m)
+        xs = np.array([v % field.order for v in values], dtype=np.int64)
+        s = scalar % field.order
+        vec = field.mul_scalar_vec(s, xs)
+        for x, got in zip(xs, vec):
+            assert got == field.mul(s, int(x))
+
+    def test_mul_vec_broadcasting(self):
+        field = get_field(6)
+        a = np.arange(8, dtype=np.int64)[:, None]
+        b = np.arange(5, dtype=np.int64)[None, :]
+        out = field.mul_vec(a, b)
+        assert out.shape == (8, 5)
+        assert out[3, 4] == field.mul(3, 4)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(0)
+        with pytest.raises(ValueError):
+            GF2m(64)
+
+    def test_scalar_range_checked(self):
+        field = get_field(4)
+        with pytest.raises(ValueError):
+            field.mul(16, 1)
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)

@@ -1,0 +1,119 @@
+"""The Graph substrate and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+class TestGraphBasics:
+    def test_dedup_and_orientation(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert g.m == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_rejects_self_loops_and_bad_range(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(1, 1)])
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 3)])
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_degrees_and_neighbors(self):
+        g = gen.star_graph(5)
+        assert g.degree(0) == 4
+        assert g.max_degree == 4
+        assert list(g.neighbors(0)) == [1, 2, 3, 4]
+        assert list(g.neighbors(3)) == [0]
+
+    def test_bfs_levels_and_tree(self):
+        g = gen.grid_graph(3, 3)
+        dist = g.bfs_levels([0])
+        assert dist[0] == 0 and dist[8] == 4
+        parent, depth = g.bfs_tree(0)
+        assert parent[0] == 0
+        np.testing.assert_array_equal(depth, dist)
+
+    def test_diameter(self):
+        assert gen.path_graph(10).diameter() == 9
+        assert gen.cycle_graph(10).diameter() == 5
+        assert gen.complete_graph(5).diameter() == 1
+
+    def test_diameter_upper_bound_sandwich(self):
+        g = gen.random_regular_graph(40, 3, seed=1)
+        d = g.diameter()
+        ub = g.diameter_upper_bound()
+        assert d <= ub <= 2 * d
+
+    def test_connected_components(self):
+        g = gen.disjoint_union(gen.cycle_graph(4), gen.path_graph(3))
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [3, 4]
+
+    def test_induced_subgraph(self):
+        g = gen.cycle_graph(6)
+        sub, original = g.induced_subgraph([0, 1, 2, 4])
+        assert sub.n == 4
+        assert sub.m == 2  # edges (0,1), (1,2); node 4 isolated
+        np.testing.assert_array_equal(original, [0, 1, 2, 4])
+
+    def test_filter_edges(self):
+        g = gen.cycle_graph(5)
+        mask = np.zeros(g.m, dtype=bool)
+        mask[0] = True
+        filtered = g.filter_edges(mask)
+        assert filtered.m == 1 and filtered.n == 5
+
+    def test_networkx_roundtrip(self):
+        g = gen.grid_graph(3, 4)
+        nx_g = g.to_networkx()
+        back = Graph.from_networkx(nx_g)
+        assert back.n == g.n and back.m == g.m
+
+
+class TestGenerators:
+    def test_cycle_properties(self):
+        g = gen.cycle_graph(12)
+        assert g.n == 12 and g.m == 12 and g.max_degree == 2
+
+    def test_grid_properties(self):
+        g = gen.grid_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5
+        assert g.max_degree == 4
+
+    def test_regular_graph_degrees(self):
+        g = gen.random_regular_graph(20, 5, seed=3)
+        assert (g.degrees == 5).all()
+
+    def test_regular_requires_even_product(self):
+        with pytest.raises(ValueError):
+            gen.random_regular_graph(5, 3, seed=0)
+
+    def test_tree_is_a_tree(self):
+        g = gen.random_tree(40, seed=2)
+        assert g.m == 39
+        assert len(g.connected_components()) == 1
+
+    def test_caterpillar(self):
+        g = gen.caterpillar_graph(4, 2)
+        assert g.n == 4 + 8
+        assert g.max_degree == 4  # inner spine: 2 spine + 2 legs
+
+    def test_generators_are_deterministic(self):
+        a = gen.gnp_graph(30, 0.2, seed=9)
+        b = gen.gnp_graph(30, 0.2, seed=9)
+        assert a.edge_list() == b.edge_list()
+
+    def test_power_law_skew(self):
+        g = gen.power_law_graph(60, 2, seed=4)
+        assert g.max_degree > 2 * np.median(g.degrees)
+
+    def test_bipartite(self):
+        g = gen.random_bipartite_graph(5, 7, 0.5, seed=1)
+        # No edge inside either side.
+        for u, v in g.edge_list():
+            assert (u < 5) != (v < 5)

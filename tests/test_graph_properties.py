@@ -1,0 +1,60 @@
+"""Graph property helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.properties import (
+    average_degree,
+    degeneracy,
+    degeneracy_ordering,
+    degree_histogram,
+    edge_expansion_proxy,
+    is_regular,
+)
+
+
+class TestDegeneracy:
+    def test_tree_has_degeneracy_one(self):
+        assert degeneracy(gen.random_tree(30, seed=1)) == 1
+
+    def test_cycle_has_degeneracy_two(self):
+        assert degeneracy(gen.cycle_graph(12)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(gen.complete_graph(6)) == 5
+
+    def test_ordering_supports_greedy_bound(self):
+        """Coloring in reverse degeneracy order needs ≤ d+1 colors."""
+        graph = gen.power_law_graph(40, 3, seed=2)
+        order, d = degeneracy_ordering(graph)
+        colors = np.full(graph.n, -1, dtype=np.int64)
+        for v in reversed(order):
+            taken = {int(colors[u]) for u in graph.neighbors(int(v))}
+            c = 0
+            while c in taken:
+                c += 1
+            colors[v] = c
+        assert colors.max() <= d
+        # Proper:
+        for u, w in graph.edge_list():
+            assert colors[u] != colors[w]
+
+
+class TestSimpleProperties:
+    def test_average_degree(self):
+        assert average_degree(gen.cycle_graph(10)) == pytest.approx(2.0)
+        assert average_degree(gen.star_graph(5)) == pytest.approx(8 / 5)
+
+    def test_degree_histogram(self):
+        hist = degree_histogram(gen.star_graph(5))
+        assert hist == {1: 4, 4: 1}
+
+    def test_is_regular(self):
+        assert is_regular(gen.cycle_graph(8))
+        assert not is_regular(gen.star_graph(4))
+
+    def test_expansion_separates_cycle_from_expander(self):
+        cycle = edge_expansion_proxy(gen.cycle_graph(64))
+        expander = edge_expansion_proxy(gen.random_regular_graph(64, 6, seed=3))
+        assert expander > cycle

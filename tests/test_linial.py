@@ -1,0 +1,86 @@
+"""Linial's color reduction (engine): properness, O(Δ²) colors, log* rounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.validation import verify_proper_coloring
+from repro.graphs import generators as gen
+from repro.substrates.linial import linial_coloring, linial_step, next_prime
+
+
+def log_star(x: float) -> int:
+    count = 0
+    while x > 1:
+        x = math.log2(x)
+        count += 1
+    return count
+
+
+class TestPrimes:
+    def test_next_prime(self):
+        assert next_prime(2) == 2
+        assert next_prime(8) == 11
+        assert next_prime(14) == 17
+
+
+class TestLinialStep:
+    def test_single_step_is_proper(self):
+        graph = gen.random_regular_graph(32, 4, seed=1)
+        colors = np.arange(32, dtype=np.int64)
+        new_colors, new_k = linial_step(graph, colors, 32)
+        verify_proper_coloring(graph, new_colors)
+        assert new_colors.max() < new_k
+
+    def test_step_requires_proper_input_to_stay_proper(self):
+        # From a proper coloring the step always returns a proper coloring.
+        graph = gen.grid_graph(5, 5)
+        colors = np.arange(25, dtype=np.int64)
+        for _ in range(3):
+            colors, k = linial_step(graph, colors, int(colors.max()) + 1)
+            verify_proper_coloring(graph, colors)
+
+
+class TestLinialColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            gen.cycle_graph(64),
+            gen.path_graph(50),
+            gen.random_regular_graph(128, 4, seed=2),
+            gen.random_tree(80, seed=3),
+        ],
+        ids=["cycle", "path", "regular", "tree"],
+    )
+    def test_proper_and_delta_squared_colors(self, graph):
+        result = linial_coloring(graph)
+        verify_proper_coloring(graph, result.colors)
+        delta = max(1, graph.max_degree)
+        # Final color count is q² for the first prime q > Δ·t with t = 1,
+        # which is at most (2(Δ+2))² by Bertrand's postulate.
+        assert result.num_colors <= (2 * (delta + 2)) ** 2
+
+    def test_iteration_count_is_log_star_like(self):
+        graph = gen.cycle_graph(256)
+        result = linial_coloring(graph)
+        assert result.iterations <= log_star(256) + 3
+
+    def test_larger_graph_does_not_need_more_colors(self):
+        small = linial_coloring(gen.cycle_graph(32)).num_colors
+        large = linial_coloring(gen.cycle_graph(512)).num_colors
+        assert large <= small * 2  # both O(Δ²) = O(1) for cycles
+
+    def test_respects_given_initial_coloring(self):
+        graph = gen.cycle_graph(16)
+        initial = np.array([v % 4 + (v % 2) * 4 for v in range(16)])
+        initial = np.arange(16, dtype=np.int64)  # ids
+        result = linial_coloring(graph, initial, 16)
+        verify_proper_coloring(graph, result.colors)
+
+    def test_isolated_nodes(self):
+        from repro.graphs.graph import Graph
+
+        graph = Graph(5, [])
+        result = linial_coloring(graph)
+        verify_proper_coloring(graph, result.colors)

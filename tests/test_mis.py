@@ -1,0 +1,61 @@
+"""MIS substrate: correctness and round accounting (Lemma 2.1's ending)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    verify_independent_set,
+    verify_maximal_independent_set,
+)
+from repro.graphs import generators as gen
+from repro.substrates.mis import mis_bounded_degree, mis_by_color_classes
+
+
+class TestMISByColorClasses:
+    def test_cycle(self):
+        graph = gen.cycle_graph(9)
+        colors = np.array([v % 3 for v in range(9)])  # proper: 9 ≡ 0 mod 3
+        members, classes = mis_by_color_classes(graph, colors)
+        verify_maximal_independent_set(graph, members)
+        assert classes == len(np.unique(colors))
+
+    def test_rejects_improper_coloring(self):
+        graph = gen.path_graph(4)
+        with pytest.raises(ValueError):
+            mis_by_color_classes(graph, np.zeros(4, dtype=np.int64))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_graphs(self, seed):
+        graph = gen.gnp_graph(30, 0.15, seed=seed)
+        colors = np.arange(30, dtype=np.int64)  # ids are a proper coloring
+        members, _classes = mis_by_color_classes(graph, colors)
+        verify_maximal_independent_set(graph, members)
+
+
+class TestMISBoundedDegree:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_degree_three_graphs(self, seed):
+        graph = gen.random_regular_graph(24, 3, seed=seed)
+        psi = np.arange(24, dtype=np.int64)
+        result = mis_bounded_degree(graph, psi, 24)
+        verify_maximal_independent_set(graph, result.members)
+
+    def test_mis_size_at_least_quarter_on_degree_3(self):
+        """Max degree 3 ⇒ any MIS covers ≥ |V|/4 — the n/8 argument."""
+        graph = gen.random_regular_graph(32, 3, seed=7)
+        psi = np.arange(32, dtype=np.int64)
+        result = mis_bounded_degree(graph, psi, 32)
+        assert result.members.sum() >= 32 / 4
+
+    def test_round_accounting(self):
+        graph = gen.cycle_graph(20)
+        psi = np.arange(20, dtype=np.int64)
+        result = mis_bounded_degree(graph, psi, 20)
+        assert result.rounds == result.linial_iterations + result.num_classes
+
+    def test_empty_graph(self):
+        from repro.graphs.graph import Graph
+
+        graph = Graph(4, [])
+        result = mis_bounded_degree(graph, np.arange(4), 4)
+        assert result.members.all()  # all isolated nodes join

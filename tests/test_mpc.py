@@ -1,0 +1,171 @@
+"""MPC substrate, Section 5 primitives, Theorems 1.4/1.5, Observation 4.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.instances import make_delta_plus_one_instance
+from repro.core.validation import verify_proper_list_coloring
+from repro.graphs import generators as gen
+from repro.mpc.coloring import observation_4_1_lists, solve_list_coloring_mpc
+from repro.mpc.machine import MemoryBudgetExceeded, MPCConfig, MPCEngine
+from repro.mpc.primitives import (
+    mpc_group_ranks,
+    mpc_prefix_sums,
+    mpc_set_difference,
+    mpc_sort,
+)
+
+
+def small_engine(records, machines=4, memory=16):
+    engine = MPCEngine(MPCConfig(num_machines=machines, memory_words=memory))
+    engine.scatter(records)
+    return engine
+
+
+class TestMachineSubstrate:
+    def test_storage_budget_enforced(self):
+        engine = MPCEngine(MPCConfig(num_machines=2, memory_words=4, slack=1))
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.load(0, [(i,) for i in range(10)])
+
+    def test_send_budget_enforced(self):
+        engine = MPCEngine(MPCConfig(num_machines=2, memory_words=4, slack=4))
+        engine.load(0, [(i,) for i in range(8)])
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.exchange(lambda src, store: [(1 - src, r) for r in store])
+
+    def test_receive_budget_enforced(self):
+        engine = MPCEngine(MPCConfig(num_machines=3, memory_words=4, slack=4))
+        engine.load(0, [(i,) for i in range(4)])
+        engine.load(1, [(i,) for i in range(4)])
+
+        def route(src, store):
+            return [(2, r) for r in store]
+
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.exchange(route)
+
+    def test_local_keeps_are_free(self):
+        engine = MPCEngine(MPCConfig(num_machines=2, memory_words=4, slack=4))
+        engine.load(0, [(i,) for i in range(8)])
+        engine.exchange(lambda src, store: [(src, r) for r in store])
+        assert engine.max_send_words == 0
+
+    def test_regime_constructors(self):
+        linear = MPCConfig.linear(100, 1000)
+        assert linear.memory_words == 100
+        sub = MPCConfig.sublinear(256, 1000, alpha=0.5)
+        assert sub.memory_words == 16
+        with pytest.raises(ValueError):
+            MPCConfig.sublinear(100, 1000, alpha=1.5)
+
+
+class TestPrimitives:
+    def test_sort_balanced_and_ordered(self):
+        rng = np.random.default_rng(0)
+        values = [int(v) for v in rng.integers(0, 1000, size=40)]
+        engine = small_engine([(v,) for v in values], machines=5, memory=16)
+        mpc_sort(engine, key=lambda r: r[0])
+        flattened = [r[0] for store in engine.stores for r in store]
+        assert flattened == sorted(values)
+        sizes = [len(store) for store in engine.stores]
+        assert max(sizes) <= 8  # ceil(40/5)
+
+    def test_sort_charges_constant_rounds(self):
+        engine = small_engine([(v,) for v in range(20)])
+        before = engine.rounds
+        mpc_sort(engine)
+        assert engine.rounds - before <= 6
+
+    def test_prefix_sums(self):
+        engine = small_engine([(v,) for v in range(12)], machines=3, memory=8)
+        mpc_sort(engine, key=lambda r: r[0])
+        mpc_prefix_sums(
+            engine,
+            value_fn=lambda r: r[0],
+            combine=lambda a, b: a + b,
+            annotate=lambda r, p: (r[0], p),
+        )
+        records = sorted(engine.all_records())
+        for value, prefix in records:
+            assert prefix == value * (value + 1) // 2
+
+    def test_group_ranks_matches_corollary_5_2(self):
+        records = [("g1", 10), ("g1", 30), ("g1", 20), ("g2", 5), ("g2", 1)]
+        engine = small_engine(records, machines=3, memory=16)
+        mpc_group_ranks(
+            engine,
+            key_fn=lambda r: (r[0], r[1]),
+            group_fn=lambda r: r[0],
+            annotate=lambda r, rank, size: (r[0], r[1], rank, size),
+        )
+        out = sorted(engine.all_records())
+        assert ("g1", 10, 1, 3) in out
+        assert ("g1", 30, 3, 3) in out
+        assert ("g2", 5, 2, 2) in out
+
+    def test_set_difference(self):
+        records = [
+            ("a", 1, 10), ("a", 1, 20), ("a", 2, 10),
+            ("b", 1, 10), ("b", 2, 99),
+        ]
+        engine = small_engine(records, machines=3, memory=16)
+        mpc_set_difference(engine, classify=lambda r: (r[0], r[1], r[2]))
+        out = {}
+        for store in engine.stores:
+            for record, present in store:
+                out[(record[1], record[2])] = present
+        assert out[(1, 10)] is True  # (set 1, 10) occurs in B
+        assert out[(1, 20)] is False
+        assert out[(2, 10)] is False  # B has (2, 99), not (2, 10)
+
+
+class TestObservation41:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lists_match_direct_construction(self, seed):
+        graph = gen.random_regular_graph(16, 3, seed=seed)
+        config = MPCConfig.linear(16, 8 * 16)
+        engine = MPCEngine(config)
+        lists = observation_4_1_lists(graph, engine)
+        for u in range(graph.n):
+            assert lists[u] == list(range(graph.degree(u) + 1))
+
+
+class TestMPCColoring:
+    @pytest.mark.parametrize("regime", ["linear", "sublinear"])
+    def test_proper_coloring(self, regime):
+        graph = gen.random_regular_graph(32, 4, seed=0)
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_mpc(instance, regime=regime)
+        verify_proper_list_coloring(instance, result.colors)
+
+    @pytest.mark.parametrize("regime", ["linear", "sublinear"])
+    def test_memory_audit(self, regime):
+        """The T6 claim: no machine ever exceeded its S-word I/O budget."""
+        graph = gen.random_regular_graph(24, 3, seed=1)
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_mpc(instance, regime=regime)
+        assert result.max_send_words <= result.memory_words
+        assert result.max_receive_words <= result.memory_words
+
+    def test_sublinear_uses_smaller_machines(self):
+        graph = gen.random_regular_graph(32, 3, seed=2)
+        instance = make_delta_plus_one_instance(graph)
+        linear = solve_list_coloring_mpc(instance, regime="linear")
+        sub = solve_list_coloring_mpc(instance, regime="sublinear")
+        assert sub.memory_words < linear.memory_words
+        assert sub.num_machines > linear.num_machines
+
+    def test_lemma_4_2_single_shot_on_low_degree(self):
+        """In the sublinear regime with Δ < √S the pass fixes whole colors."""
+        graph = gen.cycle_graph(32)
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_mpc(instance, regime="sublinear", alpha=0.8)
+        assert any(p.phases == 1 for p in result.passes)
+        verify_proper_list_coloring(instance, result.colors)
+
+    def test_cycle_and_star(self):
+        for graph in (gen.cycle_graph(16), gen.star_graph(12)):
+            instance = make_delta_plus_one_instance(graph)
+            result = solve_list_coloring_mpc(instance, regime="linear")
+            verify_proper_list_coloring(instance, result.colors)

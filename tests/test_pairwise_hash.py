@@ -1,0 +1,127 @@
+"""Theorem 2.4 / Lemma 2.5: hash family independence and coin quality."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.hashing.coins import bucket_thresholds, coin_thresholds, select_buckets
+from repro.hashing.pairwise import HashFamily, PairwiseFamily
+
+
+class TestHashFamilyBasics:
+    def test_seed_length_matches_theorem_2_4(self):
+        fam = HashFamily(a=5, b=3, k=2)
+        assert fam.seed_bits == 2 * max(5, 3)
+        fam = HashFamily(a=3, b=7, k=4)
+        assert fam.seed_bits == 4 * 7
+
+    def test_reduced_seed_length_matches_lemma_2_5(self):
+        fam = PairwiseFamily(a=6, b=4)
+        assert fam.reduced_seed_bits == 6 + 4
+        assert fam.reduced_seed_bits <= 2 * max(6, 4)
+
+    def test_evaluate_range(self):
+        fam = HashFamily(a=4, b=3)
+        for packed in range(0, fam.seed_space_size(), 97):
+            seed = fam.unpack_seed(packed)
+            for x in range(16):
+                assert 0 <= fam.evaluate(seed, x) < 8
+
+    def test_evaluate_vec_matches_scalar(self):
+        fam = HashFamily(a=4, b=4, k=3)
+        seed = fam.unpack_seed(123456 % fam.seed_space_size())
+        xs = np.arange(16, dtype=np.int64)
+        vec = fam.evaluate_vec(seed, xs)
+        for x in range(16):
+            assert vec[x] == fam.evaluate(seed, x)
+
+    def test_reduced_evaluation_matches_full(self):
+        fam = PairwiseFamily(a=3, b=3)
+        for s1 in range(8):
+            for s2 in range(8):
+                sigma = s2  # m == b here, top bits are all bits
+                for x in range(8):
+                    assert fam.evaluate_reduced(s1, sigma, x) == fam.evaluate(
+                        (s2, s1), x
+                    )
+
+
+class TestPairwiseIndependence:
+    """Exhaustive verification of uniformity and pairwise independence."""
+
+    @pytest.mark.parametrize("a,b", [(3, 3), (3, 2), (2, 3)])
+    def test_marginals_uniform(self, a, b):
+        fam = PairwiseFamily(a, b)
+        m = fam.m
+        for x in range(1 << a):
+            counts = np.zeros(1 << b, dtype=np.int64)
+            for s1 in range(1 << m):
+                g = int(fam.g_values(s1, np.array([x]))[0])
+                for sigma in range(1 << b):
+                    counts[g ^ sigma] += 1
+            assert (counts == counts[0]).all(), f"x={x} not uniform"
+
+    @pytest.mark.parametrize("a,b", [(3, 3), (3, 2)])
+    def test_pairs_uniform(self, a, b):
+        """(h(x), h(y)) uniform over [2^b]² for x != y — exact independence."""
+        fam = PairwiseFamily(a, b)
+        m = fam.m
+        for x, y in itertools.combinations(range(1 << a), 2):
+            counts = np.zeros((1 << b, 1 << b), dtype=np.int64)
+            for s1 in range(1 << m):
+                gs = fam.g_values(s1, np.array([x, y]))
+                for sigma in range(1 << b):
+                    counts[gs[0] ^ sigma, gs[1] ^ sigma] += 1
+            assert (counts == counts[0, 0]).all(), f"pair ({x},{y}) correlated"
+
+
+class TestCoins:
+    def test_coin_threshold_bias_bounds(self):
+        """Lemma 2.5: Pr[C=1] = t/2^b ∈ [p, p + 2^-b], exact at 0 and 1."""
+        b = 6
+        for size in range(1, 20):
+            for k1 in range(size + 1):
+                t = int(
+                    coin_thresholds(np.array([k1]), np.array([size]), b)[0]
+                )
+                p = k1 / size
+                realized = t / (1 << b)
+                assert p <= realized <= p + 2.0 ** (-b) + 1e-12
+                if k1 == 0:
+                    assert t == 0
+                if k1 == size:
+                    assert t == 1 << b
+
+    def test_bucket_thresholds_partition(self):
+        counts = np.array([[2, 0, 3, 1], [1, 1, 1, 1]], dtype=np.int64)
+        t = bucket_thresholds(counts, b=5)
+        assert (t[:, 0] == 0).all()
+        assert (t[:, -1] == 32).all()
+        assert (np.diff(t, axis=1) >= 0).all()
+
+    def test_empty_buckets_never_selected(self):
+        counts = np.array([[2, 0, 3, 1]], dtype=np.int64)
+        t = bucket_thresholds(counts, b=5)
+        for y in range(32):
+            w = int(select_buckets(t, np.array([y]))[0])
+            assert counts[0, w] > 0, f"empty bucket selected at y={y}"
+
+    def test_bucket_probabilities_near_proportions(self):
+        counts = np.array([[3, 5, 0, 2]], dtype=np.int64)
+        b = 8
+        t = bucket_thresholds(counts, b=b)
+        hits = np.zeros(4, dtype=np.int64)
+        for y in range(1 << b):
+            hits[int(select_buckets(t, np.array([y]))[0])] += 1
+        total = counts.sum()
+        for w in range(4):
+            p = counts[0, w] / total
+            realized = hits[w] / (1 << b)
+            assert abs(realized - p) <= 2.0 ** (-b) * 2 + 1e-12
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bucket_thresholds(np.array([[0, 0]]), b=4)  # empty list
+        with pytest.raises(ValueError):
+            coin_thresholds(np.array([3]), np.array([2]), b=4)  # k1 > |L|

@@ -1,0 +1,126 @@
+"""The PhaseEstimator against brute-force enumeration over the seed space.
+
+These tests pin the mathematical heart of the reproduction: for small
+parameters, E[Σ_e X_e | s1] and the exact per-σ values must match a direct
+enumeration of the randomized process of Algorithm 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.potential import PhaseEstimator, accuracy_bits, potential_sum
+from repro.hashing.coins import bucket_thresholds
+from repro.hashing.pairwise import PairwiseFamily
+
+
+def brute_force_potential(family, psi, counts, edges, s1, sigma):
+    """Directly simulate the bucket choice and compute Σ_e X_e."""
+    b = family.b
+    thresholds = bucket_thresholds(counts, b)
+    g = family.g_values(s1, psi)
+    y = g ^ sigma
+    buckets = np.array(
+        [
+            np.searchsorted(thresholds[v], y[v], side="right") - 1
+            for v in range(len(psi))
+        ]
+    )
+    total = 0.0
+    for u, v in edges:
+        if buckets[u] == buckets[v]:
+            total += 1.0 / counts[u, buckets[u]] + 1.0 / counts[v, buckets[v]]
+    return total
+
+
+def make_estimator(a=3, b=4, buckets=2, seed=0):
+    rng = np.random.default_rng(seed)
+    n = 6
+    psi = np.arange(n, dtype=np.int64)  # distinct colors -> any edges allowed
+    counts = rng.integers(0, 4, size=(n, buckets)).astype(np.int64)
+    counts[:, 0] += 1  # no empty lists
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]
+    eu = np.array([e[0] for e in edges], dtype=np.int64)
+    ev = np.array([e[1] for e in edges], dtype=np.int64)
+    family = PairwiseFamily(a, b)
+    return PhaseEstimator(family, psi, counts, eu, ev), edges, psi, counts, family
+
+
+class TestEstimatorExactness:
+    @pytest.mark.parametrize("buckets", [2, 4])
+    def test_exact_by_sigma_matches_brute_force(self, buckets):
+        est, edges, psi, counts, family = make_estimator(buckets=buckets)
+        for s1 in (0, 1, 7, 11):
+            vals = est.exact_by_sigma(s1)
+            for sigma in range(0, 16, 3):
+                brute = brute_force_potential(family, psi, counts, edges, s1, sigma)
+                assert vals[sigma] == pytest.approx(brute, abs=1e-12)
+
+    @pytest.mark.parametrize("buckets", [2, 4])
+    def test_expected_by_s1_is_mean_over_sigma(self, buckets):
+        est, *_ = make_estimator(buckets=buckets)
+        s1s = np.arange(1 << est.family.m, dtype=np.int64)
+        expected = est.expected_by_s1(s1s)
+        for s1 in (0, 3, 9, 15):
+            exact = est.exact_by_sigma(int(s1))
+            assert expected[s1] == pytest.approx(exact.mean(), rel=1e-12)
+
+    def test_two_bucket_fast_path_equals_general_path(self):
+        est, *_ = make_estimator(buckets=2)
+        s1s = np.arange(16, dtype=np.int64)
+        d = est.family.g_values_many(s1s, est.psi_diff)
+        fast = est._expected_two_buckets(d)
+        general = est._expected_general(d)
+        np.testing.assert_allclose(fast, general, rtol=1e-12)
+
+    def test_no_edges_gives_zero(self):
+        family = PairwiseFamily(3, 4)
+        psi = np.arange(4, dtype=np.int64)
+        counts = np.ones((4, 2), dtype=np.int64)
+        est = PhaseEstimator(
+            family, psi, counts, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert est.expected_by_s1(np.arange(8)).sum() == 0.0
+        assert est.exact_by_sigma(0).sum() == 0.0
+
+    def test_rejects_improper_input_coloring(self):
+        family = PairwiseFamily(3, 4)
+        psi = np.array([1, 1], dtype=np.int64)
+        counts = np.ones((2, 2), dtype=np.int64)
+        with pytest.raises(ValueError):
+            PhaseEstimator(
+                family, psi, counts, np.array([0]), np.array([1])
+            )
+
+
+class TestPotentialHelpers:
+    def test_potential_sum(self):
+        assert potential_sum(np.array([2, 3]), np.array([4, 6])) == pytest.approx(1.0)
+
+    def test_potential_requires_positive_sizes(self):
+        with pytest.raises(ValueError):
+            potential_sum(np.array([1]), np.array([0]))
+
+    def test_accuracy_bits_r1_matches_paper(self):
+        # b = ceil(log2(10 · Δ · ⌈log C⌉)) for the CONGEST path.
+        assert accuracy_bits(4, 5) == int(10 * 4 * 5 - 1).bit_length()
+        assert accuracy_bits(1, 1) == 4  # 10 -> 4 bits
+
+    def test_accuracy_bits_monotone_in_r_and_strengthen(self):
+        base = accuracy_bits(8, 6, r=2)
+        assert accuracy_bits(8, 6, r=4) >= base
+        assert accuracy_bits(8, 6, r=2, strengthen=9) > base
+
+    def test_phase_slack_bound_holds_for_chosen_b(self):
+        """ε from accuracy_bits keeps the per-phase slack under n·r/⌈log C⌉."""
+        for delta in (1, 3, 8, 17):
+            for bits in (1, 4, 9):
+                for r in (1, 2, 4):
+                    b = accuracy_bits(delta, bits, r=r)
+                    eps = 2.0 ** (-b)
+                    n = 1000.0
+                    edges = delta * n / 2
+                    slack = (
+                        eps * (1 << r) * n
+                        + 2 * eps * edges * (1.0 + eps * (1 << r))
+                    )
+                    assert slack <= n * r / bits + 1e-9, (delta, bits, r)

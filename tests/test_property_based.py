@@ -1,0 +1,103 @@
+"""End-to-end property-based tests (hypothesis).
+
+The properties: for *any* valid (degree+1)-list-coloring instance, every
+solver returns a proper list coloring; every pass colors ≥ 1/8; the
+potential budget holds; the reduction of Observation 4.1 is an instance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.instances import ListColoringInstance, make_delta_plus_one_instance
+from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.validation import verify_proper_list_coloring
+from repro.cliquemodel.coloring import solve_list_coloring_clique
+from repro.graphs.graph import Graph
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=min(24, len(possible)))
+    )
+    return Graph(n, edges)
+
+
+@st.composite
+def list_instances(draw):
+    graph = draw(small_graphs())
+    color_space = draw(st.integers(min_value=graph.max_degree + 1, max_value=40))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(rng_seed)
+    lists = []
+    for v in range(graph.n):
+        size = graph.degree(v) + 1 + draw(st.integers(min_value=0, max_value=2))
+        size = min(size, color_space)
+        size = max(size, graph.degree(v) + 1)
+        lists.append(rng.choice(color_space, size=size, replace=False))
+    return ListColoringInstance(graph, color_space, lists)
+
+
+class TestEndToEndProperties:
+    @given(list_instances())
+    @SETTINGS
+    def test_congest_solver_always_proper(self, instance):
+        result = solve_list_coloring_congest(instance)
+        verify_proper_list_coloring(instance, result.colors)
+
+    @given(list_instances())
+    @SETTINGS
+    def test_every_pass_colors_an_eighth(self, instance):
+        result = solve_list_coloring_congest(instance)
+        for stats in result.passes:
+            assert stats.colored >= stats.active_before / 8 - 1e-9
+
+    @given(list_instances())
+    @SETTINGS
+    def test_clique_solver_always_proper(self, instance):
+        result = solve_list_coloring_clique(instance)
+        verify_proper_list_coloring(instance, result.colors)
+
+    @given(small_graphs())
+    @SETTINGS
+    def test_delta_plus_one_reduction_always_valid(self, graph):
+        instance = make_delta_plus_one_instance(graph)
+        instance.validate()
+        result = solve_list_coloring_congest(instance)
+        verify_proper_list_coloring(instance, result.colors)
+        # A (Δ+1)-coloring never uses more than Δ+1 colors.
+        assert result.colors.max(initial=0) <= graph.max_degree
+
+    @given(small_graphs(), st.integers(min_value=1, max_value=3))
+    @SETTINGS
+    def test_multibit_schedules_preserve_correctness(self, graph, r):
+        instance = make_delta_plus_one_instance(graph)
+        result = solve_list_coloring_congest(
+            instance, r_schedule=lambda _p, left: min(r, left)
+        )
+        verify_proper_list_coloring(instance, result.colors)
+
+
+class TestDecompositionProperties:
+    @given(small_graphs())
+    @SETTINGS
+    def test_carving_halves_and_separates(self, graph):
+        from repro.decomposition.rozhon_ghaffari import carve_class
+
+        if graph.n == 0:
+            return
+        result = carve_class(graph, np.ones(graph.n, dtype=bool))
+        assert (result.center >= 0).sum() >= graph.n / 2
+        for u, v in graph.edge_list():
+            if result.center[u] >= 0 and result.center[v] >= 0:
+                assert result.center[u] == result.center[v]

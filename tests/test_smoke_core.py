@@ -1,0 +1,40 @@
+"""End-to-end smoke tests for the Theorem 1.1 solver (fast, run first)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Graph,
+    make_delta_plus_one_instance,
+    make_random_lists_instance,
+    solve_list_coloring_congest,
+    verify_proper_list_coloring,
+)
+from repro.graphs import generators as gen
+
+
+def test_delta_plus_one_on_cycle():
+    graph = gen.cycle_graph(12)
+    instance = make_delta_plus_one_instance(graph)
+    result = solve_list_coloring_congest(instance)
+    verify_proper_list_coloring(instance, result.colors)
+    assert result.rounds.total > 0
+
+
+def test_random_lists_on_random_regular():
+    graph = gen.random_regular_graph(24, 3, seed=1)
+    rng = np.random.default_rng(0)
+    instance = make_random_lists_instance(graph, color_space=32, rng=rng)
+    result = solve_list_coloring_congest(instance)
+    verify_proper_list_coloring(instance, result.colors)
+    # Lemma 2.1: every pass colors at least 1/8 of the active nodes.
+    for stats in result.passes:
+        assert stats.colored >= stats.active_before / 8
+
+
+def test_complete_graph_needs_all_colors():
+    graph = gen.complete_graph(6)
+    instance = make_delta_plus_one_instance(graph)
+    result = solve_list_coloring_congest(instance)
+    verify_proper_list_coloring(instance, result.colors)
+    assert len(set(result.colors.tolist())) == 6

@@ -1,0 +1,109 @@
+"""The event-driven tree primitives (convergecast / broadcast) in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.congest.programs import (
+    GeneratorProgram,
+    MessageBuffer,
+    broadcast_from_root,
+    convergecast,
+)
+from repro.congest.runner import simulate_bfs_tree
+from repro.congest.simulator import SyncSimulator
+from repro.graphs import generators as gen
+
+
+def run_convergecast(graph, values, decide):
+    """Helper: one convergecast of `values` over the BFS tree of `graph`."""
+    tree, _ = simulate_bfs_tree(graph, 0)
+    results = {}
+
+    def program(ctx):
+        parent, _depth, children = tree[ctx.node]
+        parent = None if parent == -1 else parent
+        buffer = MessageBuffer()
+        decision = yield from convergecast(
+            buffer, 0, parent, list(children), values[ctx.node],
+            combine=lambda a, b: a + b,
+            decide=decide,
+        )
+        results[ctx.node] = decision
+
+    programs = [GeneratorProgram(program) for _ in range(graph.n)]
+    sim = SyncSimulator(graph, programs, bandwidth_factor=64)
+    sim_result = sim.run()
+    return results, sim_result.rounds, tree
+
+
+class TestConvergecast:
+    @pytest.mark.parametrize(
+        "graph",
+        [gen.path_graph(6), gen.cycle_graph(8), gen.star_graph(7),
+         gen.random_tree(12, seed=1)],
+        ids=["path", "cycle", "star", "tree"],
+    )
+    def test_sum_reaches_root_and_decision_everyone(self, graph):
+        values = {v: v + 1 for v in range(graph.n)}
+        expected_total = sum(values.values())
+        results, _rounds, _tree = run_convergecast(
+            graph, values, decide=lambda total: total
+        )
+        assert all(results[v] == expected_total for v in range(graph.n))
+
+    def test_round_cost_tracks_tree_depth(self):
+        graph = gen.path_graph(10)  # BFS tree from 0 has depth 9
+        values = {v: 1 for v in range(10)}
+        _results, rounds, tree = run_convergecast(
+            graph, values, decide=lambda t: t
+        )
+        depth = max(entry[1] for entry in tree.values())
+        # Up + down the tree plus constant slack.
+        assert rounds <= 2 * depth + 4
+
+    def test_min_decision(self):
+        graph = gen.star_graph(5)
+        values = {0: (10,), 1: (3,), 2: (7,), 3: (9,), 4: (5,)}
+        results, _r, _t = run_convergecast(
+            graph,
+            {v: values[v] for v in range(5)},
+            decide=lambda total: min(total),
+        )
+        assert all(results[v] == 3 for v in range(5))
+
+
+class TestBroadcast:
+    def test_root_value_reaches_all(self):
+        graph = gen.random_tree(10, seed=2)
+        tree, _ = simulate_bfs_tree(graph, 0)
+        received = {}
+
+        def program(ctx):
+            parent, _d, children = tree[ctx.node]
+            parent = None if parent == -1 else parent
+            buffer = MessageBuffer()
+            value = 42 if ctx.node == 0 else None
+            got = yield from broadcast_from_root(
+                buffer, 0, parent, list(children), value
+            )
+            received[ctx.node] = got
+
+        programs = [GeneratorProgram(program) for _ in range(graph.n)]
+        SyncSimulator(graph, programs, bandwidth_factor=64).run()
+        assert all(received[v] == 42 for v in range(graph.n))
+
+
+class TestMessageBuffer:
+    def test_buffers_early_messages(self):
+        buffer = MessageBuffer()
+        buffer.put_all({3: (2, 7, "late-stage payload" and 99)})
+        assert buffer.try_take(2, 7, [3, 4]) is None  # 4 missing
+        buffer.put_all({4: (2, 7, 100)})
+        got = buffer.try_take(2, 7, [3, 4])
+        assert got == {3: 99, 4: 100}
+
+    def test_take_is_destructive(self):
+        buffer = MessageBuffer()
+        buffer.put_all({1: (0, 0, 5)})
+        assert buffer.try_take(0, 0, [1]) == {1: 5}
+        assert buffer.try_take(0, 0, [1]) is None
