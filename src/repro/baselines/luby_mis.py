@@ -26,19 +26,22 @@ def luby_mis(
     alive = np.ones(graph.n, dtype=bool)
     in_mis = np.zeros(graph.n, dtype=bool)
     rounds = 0
+    eu, ev = graph.edges_u, graph.edges_v
     while alive.any():
         rounds += 1
         if rounds > max_rounds:
             raise RuntimeError("Luby MIS failed to converge")
         draw = rng.random(graph.n)
-        for v in np.flatnonzero(alive):
-            v = int(v)
-            nbrs = [u for u in graph.neighbors(v) if alive[u]]
-            if all(draw[v] < draw[u] for u in nbrs):
-                in_mis[v] = True
-        for v in np.flatnonzero(in_mis & alive):
-            alive[int(v)] = False
-            alive[graph.neighbors(int(v))] = False
+        # A node joins iff its draw beats every alive neighbor's draw.
+        min_nbr = np.full(graph.n, np.inf)
+        both = alive[eu] & alive[ev]
+        np.minimum.at(min_nbr, eu[both], draw[ev[both]])
+        np.minimum.at(min_nbr, ev[both], draw[eu[both]])
+        in_mis |= alive & (draw < min_nbr)
+        winners = np.flatnonzero(in_mis & alive)
+        alive[winners] = False
+        _, killed = graph.gather_neighbors(winners)
+        alive[killed] = False
     verify_maximal_independent_set(graph, in_mis)
     return in_mis, rounds
 
@@ -54,26 +57,32 @@ def coloring_via_mis(
     delta = graph.max_degree
     width = delta + 1
 
-    def pid(v: int, c: int) -> int:
-        return v * width + c
-
-    edges = []
-    for v in range(graph.n):
-        for c1 in range(width):
-            for c2 in range(c1 + 1, width):
-                edges.append((pid(v, c1), pid(v, c2)))
-    for u, v in graph.edge_list():
-        for c in range(width):
-            edges.append((pid(u, c), pid(v, c)))
-    product = Graph(graph.n * width, edges)
+    # Intra-node cliques: (v, c1) ~ (v, c2) for all c1 < c2.
+    c1, c2 = np.triu_indices(width, k=1)
+    base = np.arange(graph.n, dtype=np.int64)[:, None] * width
+    clique_u = (base + c1).ravel()
+    clique_v = (base + c2).ravel()
+    # Cross edges: (u, c) ~ (v, c) for every edge (u, v) and color c.
+    crange = np.arange(width, dtype=np.int64)
+    cross_u = (graph.edges_u[:, None] * width + crange).ravel()
+    cross_v = (graph.edges_v[:, None] * width + crange).ravel()
+    product = Graph(
+        graph.n * width,
+        np.stack(
+            [
+                np.concatenate([clique_u, cross_u]),
+                np.concatenate([clique_v, cross_v]),
+            ],
+            axis=1,
+        ),
+    )
     mis, rounds = luby_mis(product, rng)
 
-    colors = np.full(graph.n, -1, dtype=np.int64)
-    for v in range(graph.n):
-        for c in range(width):
-            if mis[pid(v, c)]:
-                colors[v] = c
-                break
+    # At most one (v, c) per node is in the MIS (intra-node clique).
+    mis_mat = mis.reshape(graph.n, width)
+    colors = np.where(
+        mis_mat.any(axis=1), np.argmax(mis_mat, axis=1), -1
+    ).astype(np.int64)
     if (colors == -1).any():
         raise AssertionError(
             "MIS of the product graph did not induce a full coloring"

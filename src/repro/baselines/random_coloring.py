@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.instances import ListColoringInstance
+from repro.core.list_ops import prune_lists_after_coloring
 from repro.core.validation import verify_proper_list_coloring
 
 __all__ = ["expected_conflicts", "randomized_list_coloring", "RandomColoringStats"]
@@ -63,33 +64,30 @@ def randomized_list_coloring(
     lists = instance.copy_lists()
     stats = RandomColoringStats()
 
+    eu, ev = graph.edges_u, graph.edges_v
     while (colors == -1).any():
         stats.rounds += 1
         if stats.rounds > max_rounds:
             raise RuntimeError("randomized coloring failed to converge")
         uncolored = np.flatnonzero(colors == -1)
-        proposals = {
-            int(v): int(lists[int(v)][rng.integers(0, len(lists[int(v)]))])
-            for v in uncolored
-        }
-        kept = []
-        for v, c in proposals.items():
-            ok = True
-            for u in graph.neighbors(v):
-                if colors[u] == c or proposals.get(int(u)) == c:
-                    ok = False
-                    break
-            if ok:
-                kept.append((v, c))
-        for v, c in kept:
-            colors[v] = c
-        for v, c in kept:
-            for u in graph.neighbors(v):
-                if colors[u] == -1:
-                    lst = lists[int(u)]
-                    idx = np.searchsorted(lst, c)
-                    if idx < len(lst) and lst[idx] == c:
-                        lists[int(u)] = np.delete(lst, idx)
+        # One rng draw per uncolored node, in node order (the randomized
+        # baseline's stream is part of its deterministic-by-seed contract).
+        prop = np.full(graph.n, -1, dtype=np.int64)
+        for v in uncolored:
+            lst = lists[int(v)]
+            prop[v] = lst[rng.integers(0, len(lst))]
+        # Vectorized conflict detection over the edge arrays: a proposal
+        # dies if a neighbor proposed the same color or already holds it.
+        clash = np.zeros(graph.n, dtype=bool)
+        pu, pv = prop[eu], prop[ev]
+        same = (pu != -1) & (pu == pv)
+        clash[eu[same]] = True
+        clash[ev[same]] = True
+        clash[eu[(pu != -1) & (colors[ev] == pu)]] = True
+        clash[ev[(pv != -1) & (colors[eu] == pv)]] = True
+        kept = uncolored[~clash[uncolored]]
+        colors[kept] = prop[kept]
+        prune_lists_after_coloring(graph, lists, colors, kept)
         stats.colored_per_round.append(len(kept))
 
     if verify:

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.cliquemodel.model import CliqueSpec, lenzen_routing_rounds
 from repro.core.instances import ListColoringInstance
+from repro.core.list_ops import prune_lists_after_coloring
 from repro.core.partial_coloring import partial_coloring_pass
 from repro.core.validation import verify_proper_list_coloring
 from repro.engine.rounds import RoundLedger
@@ -102,8 +103,11 @@ def solve_list_coloring_clique(
         if endgame and len(active) * (delta + 1) <= 2 * n:
             sub_graph, original = graph.induced_subgraph(active)
             send = np.zeros(n, dtype=np.int64)
-            for i, v in enumerate(original):
-                send[v] = sub_graph.degree(i) + len(lists[int(v)])
+            send[original] = sub_graph.degrees + np.fromiter(
+                (len(lists[int(v)]) for v in original),
+                dtype=np.int64,
+                count=len(original),
+            )
             receive = np.zeros(n, dtype=np.int64)
             receive[0] = int(send.sum())
             if receive[0] <= n:
@@ -134,7 +138,7 @@ def solve_list_coloring_clique(
         )
         newly = np.flatnonzero(outcome.colors != -1)
         colors[original[newly]] = outcome.colors[newly]
-        _prune(graph, lists, colors, original[newly])
+        prune_lists_after_coloring(graph, lists, colors, original[newly])
 
         # Round accounting per the Theorem 1.3 schedule.
         pass_rounds = 0
@@ -163,17 +167,6 @@ def solve_list_coloring_clique(
     if verify:
         verify_proper_list_coloring(instance, colors)
     return result
-
-
-def _prune(graph, lists, colors, newly_colored) -> None:
-    for v in newly_colored:
-        c = int(colors[v])
-        for u in graph.neighbors(int(v)):
-            if colors[u] == -1:
-                lst = lists[u]
-                idx = np.searchsorted(lst, c)
-                if idx < len(lst) and lst[idx] == c:
-                    lists[u] = np.delete(lst, idx)
 
 
 def _greedy_finish(graph, lists, colors, active) -> None:

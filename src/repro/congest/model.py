@@ -62,7 +62,11 @@ class CongestSpec:
         return bandwidth_bits(self.n, self.factor)
 
     def check(self, sender: int, receiver: int, value) -> None:
-        used = message_bits(value)
+        self.check_bits(sender, receiver, message_bits(value))
+
+    def check_bits(self, sender: int, receiver: int, used: int) -> None:
+        """Like :meth:`check` for a pre-measured size (lets callers compute
+        ``message_bits`` once and reuse it for their own accounting)."""
         budget = self.bits_per_message
         if used > budget:
             raise BandwidthExceeded(

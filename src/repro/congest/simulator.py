@@ -12,6 +12,13 @@ ends when every node is done and no messages are in flight.  Every message
 is size-checked against the CONGEST bandwidth (see
 :mod:`repro.congest.model`); oversized messages abort the run.
 
+In-flight messages live in *columnar* delivery buffers — three parallel
+lists of receivers, senders and values — and each round's inboxes are
+assembled only for the nodes that actually receive something; idle nodes
+get a shared read-only empty mapping instead of a freshly allocated dict.
+Programs must treat their inbox as read-only (the empty mapping enforces
+this).
+
 ``ctx.shared`` is a dictionary shared by all nodes *for instrumentation
 only* — programs must not use it to communicate (tests enforce the round
 counts, which would be impossible to fake through shared state).
@@ -20,13 +27,18 @@ counts, which would be impossible to fake through shared state).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 import numpy as np
 
-from repro.congest.model import CongestSpec
+from repro.congest.model import CongestSpec, message_bits
 from repro.graphs.graph import Graph
 
 __all__ = ["NodeContext", "SyncSimulator", "SimulationResult"]
+
+#: Shared inbox for nodes that received nothing this round (read-only so a
+#: misbehaving program cannot leak state between nodes through it).
+_EMPTY_INBOX = MappingProxyType({})
 
 
 @dataclass
@@ -67,61 +79,94 @@ class SyncSimulator:
         self.spec = CongestSpec(n=graph.n, factor=bandwidth_factor)
         self.max_rounds = max_rounds
         shared: dict = {}
+        offsets = graph.adj_offsets.tolist()
+        targets = graph.adj_targets.tolist()
         self.contexts = [
             NodeContext(
                 node=v,
-                neighbors=tuple(int(u) for u in graph.neighbors(v)),
+                neighbors=tuple(targets[offsets[v]:offsets[v + 1]]),
                 n=graph.n,
                 shared=shared,
             )
             for v in range(graph.n)
         ]
+        self._neighbor_sets = [
+            frozenset(ctx.neighbors) for ctx in self.contexts
+        ]
+        # Columnar in-flight buffers: receivers / senders / values.
+        self._pending_recv: list = []
+        self._pending_send: list = []
+        self._pending_value: list = []
         self.rounds = 0
         self.messages_sent = 0
         self.max_message_bits = 0
 
-    def _collect(self, sender: int, outbox) -> list:
-        """Validate an outbox and return (receiver, value) pairs."""
+    def _collect(self, sender: int, outbox) -> None:
+        """Validate an outbox and append it to the delivery buffers."""
         if not outbox:
-            return []
-        deliveries = []
-        neighbor_set = self.contexts[sender].neighbors
+            return
+        neighbor_set = self._neighbor_sets[sender]
+        check_bits = self.spec.check_bits
+        recv, send, values = (
+            self._pending_recv,
+            self._pending_send,
+            self._pending_value,
+        )
+        max_bits = self.max_message_bits
         for receiver, value in outbox.items():
             if receiver not in neighbor_set:
                 raise ValueError(
                     f"node {sender} tried to message non-neighbor {receiver}"
                 )
-            self.spec.check(sender, receiver, value)
-            from repro.congest.model import message_bits
-
-            self.max_message_bits = max(self.max_message_bits, message_bits(value))
-            deliveries.append((receiver, sender, value))
-        return deliveries
+            bits = message_bits(value)
+            check_bits(sender, receiver, bits)
+            if bits > max_bits:
+                max_bits = bits
+            recv.append(receiver)
+            send.append(sender)
+            values.append(value)
+        self.max_message_bits = max_bits
 
     def run(self) -> SimulationResult:
+        contexts = self.contexts
+        programs = self.programs
+
         # Round 0: on_start.
-        pending: list = []
-        for v, program in enumerate(self.programs):
-            outbox = program.on_start(self.contexts[v])
-            pending.extend(self._collect(v, outbox))
+        for v, program in enumerate(programs):
+            self._collect(v, program.on_start(contexts[v]))
 
         while True:
-            all_done = all(ctx.done for ctx in self.contexts)
-            if all_done and not pending:
+            if not self._pending_recv and all(ctx.done for ctx in contexts):
                 break
             if self.rounds >= self.max_rounds:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_rounds} rounds"
                 )
             self.rounds += 1
-            inboxes: dict = {v: {} for v in range(self.graph.n)}
-            for receiver, sender, value in pending:
-                inboxes[receiver][sender] = value
-            self.messages_sent += len(pending)
-            pending = []
-            for v, program in enumerate(self.programs):
-                outbox = program.on_round(self.contexts[v], inboxes[v])
-                pending.extend(self._collect(v, outbox))
+
+            # Deliver: assemble inboxes only for receivers with messages.
+            recv, send, values = (
+                self._pending_recv,
+                self._pending_send,
+                self._pending_value,
+            )
+            self.messages_sent += len(recv)
+            inboxes: dict = {}
+            for receiver, sender, value in zip(recv, send, values):
+                box = inboxes.get(receiver)
+                if box is None:
+                    inboxes[receiver] = box = {}
+                box[sender] = value
+            self._pending_recv = []
+            self._pending_send = []
+            self._pending_value = []
+
+            get_inbox = inboxes.get
+            for v, program in enumerate(programs):
+                outbox = program.on_round(
+                    contexts[v], get_inbox(v, _EMPTY_INBOX)
+                )
+                self._collect(v, outbox)
 
         return SimulationResult(
             rounds=self.rounds,

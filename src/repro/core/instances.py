@@ -51,7 +51,10 @@ class ListColoringInstance:
     lists: list = field(repr=False)
 
     def __post_init__(self) -> None:
-        self.lists = [np.asarray(sorted(set(map(int, lst))), dtype=np.int64) for lst in self.lists]
+        # np.unique = sorted + deduped in one vectorized step per list.
+        self.lists = [
+            np.unique(np.asarray(lst, dtype=np.int64)) for lst in self.lists
+        ]
         self.validate()
 
     # ------------------------------------------------------------------
@@ -64,16 +67,32 @@ class ListColoringInstance:
             )
         if self.color_space < 1:
             raise ValueError(f"color space must be >= 1, got {self.color_space}")
-        for v in range(g.n):
-            lst = self.lists[v]
-            if len(lst) < g.degree(v) + 1:
-                raise ValueError(
-                    f"node {v}: list size {len(lst)} < deg+1 = {g.degree(v) + 1}"
-                )
-            if len(lst) and (lst[0] < 0 or lst[-1] >= self.color_space):
-                raise ValueError(
-                    f"node {v}: colors outside the color space [{self.color_space}]"
-                )
+        if g.n == 0:
+            return
+        sizes = self.list_sizes()
+        short = sizes < g.degrees + 1
+        if short.any():
+            v = int(np.argmax(short))
+            raise ValueError(
+                f"node {v}: list size {int(sizes[v])} < deg+1 = {g.degree(v) + 1}"
+            )
+        # Lists are sorted, so the first/last entries bound the whole list.
+        lo = np.fromiter(
+            (int(lst[0]) if len(lst) else 0 for lst in self.lists),
+            dtype=np.int64,
+            count=g.n,
+        )
+        hi = np.fromiter(
+            (int(lst[-1]) if len(lst) else -1 for lst in self.lists),
+            dtype=np.int64,
+            count=g.n,
+        )
+        bad = (lo < 0) | (hi >= self.color_space)
+        if bad.any():
+            v = int(np.argmax(bad))
+            raise ValueError(
+                f"node {v}: colors outside the color space [{self.color_space}]"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -86,7 +105,9 @@ class ListColoringInstance:
         return self.graph.n
 
     def list_sizes(self) -> np.ndarray:
-        return np.array([len(lst) for lst in self.lists], dtype=np.int64)
+        return np.fromiter(
+            (len(lst) for lst in self.lists), dtype=np.int64, count=self.graph.n
+        )
 
     def copy_lists(self) -> list:
         return [lst.copy() for lst in self.lists]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.instances import ListColoringInstance
+from repro.core.list_ops import prune_lists_after_coloring
 from repro.core.partial_coloring import partial_coloring_pass
 from repro.core.validation import verify_proper_list_coloring
 from repro.engine.rounds import RoundLedger
@@ -58,28 +59,6 @@ class ColoringResult:
     @property
     def num_passes(self) -> int:
         return len(self.passes)
-
-
-def _prune_lists(
-    instance: ListColoringInstance,
-    lists: list,
-    colors: np.ndarray,
-    newly_colored: np.ndarray,
-) -> None:
-    """Remove colors taken by newly colored nodes from uncolored neighbors.
-
-    The (degree+1) invariant survives: a neighbor that took a color reduces
-    the uncolored degree by one and removes at most one list entry.
-    """
-    graph = instance.graph
-    for v in newly_colored:
-        c = int(colors[v])
-        for u in graph.neighbors(int(v)):
-            if colors[u] == -1:
-                lst = lists[u]
-                idx = np.searchsorted(lst, c)
-                if idx < len(lst) and lst[idx] == c:
-                    lists[u] = np.delete(lst, idx)
 
 
 def solve_list_coloring_congest(
@@ -168,7 +147,7 @@ def solve_list_coloring_congest(
         )
         newly = np.flatnonzero(outcome.colors != -1)
         colors[original[newly]] = outcome.colors[newly]
-        _prune_lists(instance, lists, colors, original[newly])
+        prune_lists_after_coloring(graph, lists, colors, original[newly])
         ledger.charge("list_update", 1)
 
         result.passes.append(

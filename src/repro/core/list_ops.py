@@ -1,0 +1,78 @@
+"""Vectorized color-list maintenance shared by every engine.
+
+After a pass permanently colors some nodes, every still-uncolored neighbor
+must delete the taken colors from its list (the (degree+1) invariant
+survives: each colored neighbor reduces the uncolored degree by one and
+removes at most one list entry).  The CONGEST engine, the CONGESTED CLIQUE
+engine, the decomposed polylog solver and the randomized baseline all
+perform this update; this module provides one batched implementation built
+on :meth:`Graph.gather_neighbors` instead of per-node Python loops.
+
+Lists are kept as sorted int64 arrays throughout, so a pruned list is the
+sorted set difference — computed with a single ``np.isin`` per node that
+actually loses colors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["prune_lists_after_coloring", "prune_lists_against_colored"]
+
+
+def _apply_group_deletions(
+    lists: list, nodes: np.ndarray, taken: np.ndarray
+) -> None:
+    """Delete ``taken[i]`` from ``lists[nodes[i]]``, grouping by node.
+
+    ``nodes`` may repeat; entries are grouped with one stable sort and each
+    affected list is rewritten at most once.
+    """
+    if nodes.size == 0:
+        return
+    order = np.argsort(nodes, kind="stable")
+    nodes_s = nodes[order]
+    taken_s = taken[order]
+    bounds = np.flatnonzero(
+        np.concatenate(([True], nodes_s[1:] != nodes_s[:-1], [True]))
+    )
+    for i in range(len(bounds) - 1):
+        u = int(nodes_s[bounds[i]])
+        lst = lists[u]
+        keep = ~np.isin(lst, taken_s[bounds[i]:bounds[i + 1]])
+        if not keep.all():
+            lists[u] = lst[keep]
+
+
+def prune_lists_after_coloring(
+    graph: Graph,
+    lists: list,
+    colors: np.ndarray,
+    newly_colored: np.ndarray,
+) -> None:
+    """Remove the colors of ``newly_colored`` nodes from the lists of their
+    still-uncolored neighbors (in place)."""
+    newly = np.asarray(newly_colored, dtype=np.int64)
+    if newly.size == 0:
+        return
+    srcs, nbrs = graph.gather_neighbors(newly)
+    uncolored = colors[nbrs] == -1
+    _apply_group_deletions(lists, nbrs[uncolored], colors[srcs][uncolored])
+
+
+def prune_lists_against_colored(
+    graph: Graph,
+    lists: list,
+    colors: np.ndarray,
+    nodes: np.ndarray,
+) -> None:
+    """Remove, from each ``lists[v]`` for v in ``nodes``, every color held
+    by an already-colored neighbor of v (in place)."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size == 0:
+        return
+    srcs, nbrs = graph.gather_neighbors(nodes)
+    colored = colors[nbrs] != -1
+    _apply_group_deletions(lists, srcs[colored], colors[nbrs][colored])

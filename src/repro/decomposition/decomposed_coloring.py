@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.instances import ListColoringInstance
 from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.list_ops import prune_lists_against_colored
 from repro.core.validation import verify_proper_list_coloring
 from repro.decomposition.network_decomposition import NetworkDecomposition
 from repro.decomposition.rozhon_ghaffari import decompose
@@ -100,18 +101,7 @@ def solve_list_coloring_polylog(
         for cluster in clusters:
             nodes = cluster.nodes
             # Prune lists against already-colored G-neighbors.
-            for v in nodes:
-                taken = {
-                    int(colors[u])
-                    for u in graph.neighbors(int(v))
-                    if colors[u] != -1
-                }
-                if taken:
-                    lst = lists[int(v)]
-                    keep = np.array(
-                        [c for c in lst if int(c) not in taken], dtype=np.int64
-                    )
-                    lists[int(v)] = keep
+            prune_lists_against_colored(graph, lists, colors, nodes)
 
             sub_graph, original = graph.induced_subgraph(nodes)
             sub_lists = [lists[int(v)] for v in original]

@@ -11,7 +11,10 @@ clusters, each with an associated Steiner tree in G and a color in
 
 The :meth:`NetworkDecomposition.validate` method machine-checks all four
 properties (plus that clusters partition V); every decomposition produced
-in this library passes through it.
+in this library passes through it.  The checks run on flat edge/owner
+arrays — membership through ``np.searchsorted`` over encoded edge keys —
+so validation stays cheap even when every produced decomposition flows
+through it.
 """
 
 from __future__ import annotations
@@ -35,12 +38,19 @@ class Cluster:
     tree_edges: list  #: list of (u, v) edges of G forming the tree
     radius: int = 0  #: carving radius (tree depth bound)
 
+    def tree_edge_array(self) -> np.ndarray:
+        """Tree edges as an ``(t, 2)`` int64 array."""
+        if not self.tree_edges:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(self.tree_edges, dtype=np.int64)
+
+    def tree_node_array(self) -> np.ndarray:
+        """Sorted unique ids of the tree's nodes (center included)."""
+        arr = self.tree_edge_array().ravel()
+        return np.unique(np.concatenate([arr, [np.int64(self.center)]]))
+
     def tree_nodes(self) -> set:
-        nodes = {self.center}
-        for u, v in self.tree_edges:
-            nodes.add(int(u))
-            nodes.add(int(v))
-        return nodes
+        return set(self.tree_node_array().tolist())
 
 
 @dataclass
@@ -56,10 +66,16 @@ class NetworkDecomposition:
         """Node -> cluster index; every node must be covered exactly once."""
         owner = np.full(self.graph.n, -1, dtype=np.int64)
         for idx, cluster in enumerate(self.clusters):
-            for v in cluster.nodes:
-                if owner[v] != -1:
-                    raise AssertionError(f"node {int(v)} in two clusters")
-                owner[v] = idx
+            nodes = np.asarray(cluster.nodes, dtype=np.int64)
+            sorted_nodes = np.sort(nodes)
+            dup = sorted_nodes[:-1][sorted_nodes[1:] == sorted_nodes[:-1]]
+            if dup.size:
+                raise AssertionError(f"node {int(dup[0])} in two clusters")
+            taken = owner[nodes] != -1
+            if taken.any():
+                v = int(nodes[np.argmax(taken)])
+                raise AssertionError(f"node {v} in two clusters")
+            owner[nodes] = idx
         if (owner == -1).any():
             missing = int(np.flatnonzero(owner == -1)[0])
             raise AssertionError(f"node {missing} not covered by any cluster")
@@ -69,32 +85,47 @@ class NetworkDecomposition:
         """Max tree diameter β over all clusters (property ii, measured)."""
         best = 0
         for cluster in self.clusters:
-            tree_nodes = sorted(cluster.tree_nodes())
+            tree_nodes = cluster.tree_node_array()
             if len(tree_nodes) <= 1:
                 continue
-            sub, original = self.graph.induced_subgraph(tree_nodes)
-            index = {int(o): i for i, o in enumerate(original)}
+            edges = cluster.tree_edge_array()
             tree = Graph(
-                sub.n,
-                [(index[int(u)], index[int(v)]) for u, v in cluster.tree_edges],
+                len(tree_nodes),
+                np.searchsorted(tree_nodes, edges),
             )
             best = max(best, tree.diameter())
         return best
 
     def congestion(self) -> int:
         """Max number of same-color trees sharing one edge (property iv)."""
-        usage: dict = {}
+        rows = []
         for cluster in self.clusters:
-            for u, v in cluster.tree_edges:
-                key = (min(int(u), int(v)), max(int(u), int(v)), cluster.color)
-                usage[key] = usage.get(key, 0) + 1
-        return max(usage.values(), default=0)
+            edges = cluster.tree_edge_array()
+            if not len(edges):
+                continue
+            rows.append(
+                np.stack(
+                    [
+                        edges.min(axis=1),
+                        edges.max(axis=1),
+                        np.full(len(edges), cluster.color, dtype=np.int64),
+                    ],
+                    axis=1,
+                )
+            )
+        if not rows:
+            return 0
+        _, counts = np.unique(np.concatenate(rows), axis=0, return_counts=True)
+        return int(counts.max())
 
     # ------------------------------------------------------------------
     def validate(self, max_diameter: int | None = None) -> None:
         """Check Definition 3.1 (raises AssertionError on violation)."""
         owner = self.cluster_of()
         graph = self.graph
+        n = graph.n
+        # Sorted keys of G's canonical edge set, for membership queries.
+        g_edge_keys = graph.edges_u * n + graph.edges_v
 
         for cluster in self.clusters:
             if not (1 <= cluster.color <= self.num_colors):
@@ -102,34 +133,47 @@ class NetworkDecomposition:
                     f"cluster color {cluster.color} outside 1..{self.num_colors}"
                 )
             # (i) the tree spans the cluster and is a connected tree.
-            tree_nodes = cluster.tree_nodes()
-            for v in cluster.nodes:
-                if int(v) not in tree_nodes:
+            tree_nodes = cluster.tree_node_array()
+            missing = ~np.isin(cluster.nodes, tree_nodes)
+            if missing.any():
+                v = int(np.asarray(cluster.nodes)[np.argmax(missing)])
+                raise AssertionError(f"cluster node {v} missing from its tree")
+            edges = cluster.tree_edge_array()
+            if len(edges):
+                lo = edges.min(axis=1)
+                hi = edges.max(axis=1)
+                keys = lo * n + hi
+                pos = np.searchsorted(g_edge_keys, keys)
+                in_range = pos < len(g_edge_keys)
+                present = np.zeros(len(keys), dtype=bool)
+                present[in_range] = g_edge_keys[pos[in_range]] == keys[in_range]
+                if not present.all():
+                    i = int(np.argmin(present))
                     raise AssertionError(
-                        f"cluster node {int(v)} missing from its tree"
+                        f"tree edge ({edges[i, 0]}, {edges[i, 1]}) is not an "
+                        "edge of G"
                     )
-            for u, v in cluster.tree_edges:
-                if not graph.has_edge(int(u), int(v)):
-                    raise AssertionError(
-                        f"tree edge ({u}, {v}) is not an edge of G"
-                    )
-            if cluster.tree_edges:
-                ids = sorted(tree_nodes)
-                index = {o: i for i, o in enumerate(ids)}
                 tree = Graph(
-                    len(ids),
-                    [(index[int(u)], index[int(v)]) for u, v in cluster.tree_edges],
+                    len(tree_nodes),
+                    np.searchsorted(tree_nodes, edges),
                 )
                 if tree.m != tree.n - 1 or len(tree.connected_components()) != 1:
                     raise AssertionError("cluster tree is not a tree")
 
         # (iii) adjacent clusters have different colors.
-        for u, v in zip(graph.edges_u, graph.edges_v):
-            cu, cv = owner[u], owner[v]
-            if cu != cv and self.clusters[cu].color == self.clusters[cv].color:
+        if graph.m and self.clusters:
+            colors = np.fromiter(
+                (c.color for c in self.clusters),
+                dtype=np.int64,
+                count=len(self.clusters),
+            )
+            cu, cv = owner[graph.edges_u], owner[graph.edges_v]
+            bad = (cu != cv) & (colors[cu] == colors[cv])
+            if bad.any():
+                i = int(np.argmax(bad))
                 raise AssertionError(
-                    f"adjacent clusters {int(cu)}, {int(cv)} share color "
-                    f"{self.clusters[cu].color}"
+                    f"adjacent clusters {int(cu[i])}, {int(cv[i])} share color "
+                    f"{int(colors[cu[i]])}"
                 )
 
         # (ii) diameter bound, when requested.

@@ -63,7 +63,15 @@ class CarveResult:
 def carve_class(
     graph: Graph, alive: np.ndarray, label_bits: int | None = None
 ) -> CarveResult:
-    """One RG19-style carving on the alive nodes (see module docstring)."""
+    """One RG19-style carving on the alive nodes (see module docstring).
+
+    The proposal step is fully vectorized: the neighborhoods of all alive
+    blue nodes are expanded at once through :meth:`Graph.gather_neighbors`,
+    and each blue node's smallest-label active red neighbor cluster is a
+    segment minimum over that expansion.  Cluster labels are node ids, so
+    cluster state (member counts, radii, finalized flags) lives in flat
+    arrays indexed by label.
+    """
     n = graph.n
     alive = np.asarray(alive, dtype=bool).copy()
     n_alive = int(alive.sum())
@@ -72,17 +80,17 @@ def carve_class(
     B = label_bits
 
     center = np.where(alive, np.arange(n, dtype=np.int64), -1)
-    members: dict = {v: {v} for v in np.flatnonzero(alive)}
-    members = {int(k): {int(x) for x in v} for k, v in members.items()}
-    radius: dict = {c: 0 for c in members}
+    count = alive.astype(np.int64)  # members per cluster label
+    radius_arr = np.zeros(n, dtype=np.int64)  # valid where count > 0
     dead = np.zeros(n, dtype=bool)
     deaths = 0
     steps = 0
     rounds = 0
     max_steps_per_phase = 8 * B * max(1, math.ceil(math.log2(max(2, n)))) + 8
+    sentinel = n  # larger than any label
 
     for k in range(B):
-        finalized: set = set()
+        finalized = np.zeros(n, dtype=bool)  # by cluster label
         prefix_mask = (1 << k) - 1
         for _step in range(max_steps_per_phase + 1):
             if _step == max_steps_per_phase:
@@ -90,77 +98,79 @@ def carve_class(
                     f"carving phase {k} did not converge within "
                     f"{max_steps_per_phase} steps"
                 )
-            # Gather proposals: alive blue node -> smallest-label active
-            # red cluster with matching processed prefix.
-            proposals: dict = {}
-            stuck = []
-            for u in np.flatnonzero(alive):
-                cu = int(center[u])
-                if (cu >> k) & 1 == 0:
-                    continue  # red node
-                best = None
-                saw_finalized_only = False
-                for w in graph.neighbors(int(u)):
-                    if not alive[w]:
-                        continue
-                    cw = int(center[w])
-                    if (cw >> k) & 1 != 0:
-                        continue  # blue neighbor
-                    if (cw & prefix_mask) != (cu & prefix_mask):
-                        continue  # processed prefixes disagree
-                    if cw in finalized:
-                        saw_finalized_only = True
-                        continue
-                    if best is None or cw < best:
-                        best = cw
-                if best is not None:
-                    proposals.setdefault(best, []).append(int(u))
-                elif saw_finalized_only:
-                    stuck.append(int(u))
-            if stuck:
-                # By the Rule-Y invariant this cannot happen: a blue node's
-                # first adjacency to red always includes an active cluster.
-                raise AssertionError(
-                    f"blue nodes {stuck[:5]} adjacent only to finalized reds"
-                )
-            if not proposals:
+            # Proposals: alive blue node -> smallest-label active red
+            # cluster with matching processed prefix.
+            blue = np.flatnonzero(alive & (((center >> k) & 1) == 1))
+            srcs, nbrs = graph.gather_neighbors(blue)
+            valid = alive[nbrs]
+            cw = np.where(valid, center[nbrs], 0)
+            red = valid & (((cw >> k) & 1) == 0)
+            match = red & ((cw & prefix_mask) == (center[srcs] & prefix_mask))
+            is_final = finalized[cw]
+            best = np.full(n, sentinel, dtype=np.int64)
+            np.minimum.at(
+                best, srcs[match & ~is_final], cw[match & ~is_final]
+            )
+            if (match & is_final).any():
+                saw_final = np.zeros(n, dtype=bool)
+                saw_final[srcs[match & is_final]] = True
+                stuck = blue[(best[blue] == sentinel) & saw_final[blue]]
+                if stuck.size:
+                    # By the Rule-Y invariant this cannot happen: a blue
+                    # node's first adjacency to red always includes an
+                    # active cluster.
+                    raise AssertionError(
+                        f"blue nodes {stuck[:5].tolist()} adjacent only to "
+                        "finalized reds"
+                    )
+            proposers = blue[best[blue] < sentinel]
+            if proposers.size == 0:
                 break
             steps += 1
-            current_max_radius = max(radius.values(), default=0)
+            live_radii = radius_arr[count > 0]
+            current_max_radius = int(live_radii.max()) if live_radii.size else 0
             rounds += 2 * current_max_radius + 4
-            for target, proposers in sorted(proposals.items()):
-                threshold = len(members[target]) / (2.0 * B)
-                if len(proposers) >= threshold:
-                    for u in proposers:
-                        old = int(center[u])
-                        members[old].discard(u)
-                        if not members[old]:
-                            members.pop(old)
-                            radius.pop(old, None)
-                        center[u] = target
-                        members[target].add(u)
-                    radius[target] += 1
-                else:
-                    finalized.add(target)
-                    for u in proposers:
-                        old = int(center[u])
-                        members[old].discard(u)
-                        if not members[old]:
-                            members.pop(old)
-                            radius.pop(old, None)
-                        alive[u] = False
-                        dead[u] = True
-                        center[u] = -1
-                        deaths += 1
+
+            # Group proposers by target.  Red clusters only ever *gain*
+            # members within a step and each target appears once, so all
+            # thresholds can be evaluated against the step-start counts —
+            # equivalent to processing targets sequentially in sorted order.
+            tgt = best[proposers]
+            order = np.argsort(tgt, kind="stable")
+            p_sorted = proposers[order]
+            t_sorted = tgt[order]
+            uniq_t, grp_counts = np.unique(t_sorted, return_counts=True)
+            absorb_grp = grp_counts >= count[uniq_t] / (2.0 * B)
+            absorb_elem = np.repeat(absorb_grp, grp_counts)
+
+            moved = p_sorted[absorb_elem]
+            if moved.size:
+                np.subtract.at(count, center[moved], 1)
+                new_centers = np.repeat(
+                    uniq_t[absorb_grp], grp_counts[absorb_grp]
+                )
+                center[moved] = new_centers
+                count[uniq_t[absorb_grp]] += grp_counts[absorb_grp]
+                radius_arr[uniq_t[absorb_grp]] += 1
+
+            killed = p_sorted[~absorb_elem]
+            if killed.size:
+                finalized[uniq_t[~absorb_grp]] = True
+                np.subtract.at(count, center[killed], 1)
+                center[killed] = -1
+                alive[killed] = False
+                dead[killed] = True
+                deaths += int(killed.size)
 
     if n_alive and deaths > n_alive / 2.0:
         raise AssertionError(
             f"carving killed {deaths} > half of {n_alive} alive nodes"
         )
+    live = np.flatnonzero(count > 0)
     return CarveResult(
         center=center,
         dead=dead,
-        radius=radius,
+        radius={int(c): int(radius_arr[c]) for c in live},
         steps=steps,
         rounds=rounds,
         deaths=deaths,
@@ -169,7 +179,7 @@ def carve_class(
 
 def _steiner_tree(graph: Graph, center: int, nodes: np.ndarray) -> list:
     """Shortest-path tree edges in G covering ``nodes`` from ``center``."""
-    parent, _depth = graph.bfs_tree(int(center))
+    parent, _depth = graph.bfs_tree(int(center), targets=nodes)
     edges = set()
     for v in nodes:
         v = int(v)
@@ -207,8 +217,7 @@ def decompose(
         carve = carve_class(graph, alive)
         if ledger is not None:
             ledger.charge(f"carve_color_{color}", max(1, carve.rounds))
-        for c, node_set in sorted(_members_from_centers(carve.center).items()):
-            nodes = np.array(sorted(node_set), dtype=np.int64)
+        for c, nodes in sorted(_members_from_centers(carve.center).items()):
             tree_edges = _steiner_tree(graph, c, nodes)
             decomposition.clusters.append(
                 Cluster(
@@ -227,7 +236,17 @@ def decompose(
 
 
 def _members_from_centers(center: np.ndarray) -> dict:
-    members: dict = {}
-    for v in np.flatnonzero(center >= 0):
-        members.setdefault(int(center[v]), set()).add(int(v))
-    return members
+    """Group clustered nodes by center: ``{center: sorted member array}``."""
+    nodes = np.flatnonzero(center >= 0)
+    if nodes.size == 0:
+        return {}
+    labels = center[nodes]
+    order = np.argsort(labels, kind="stable")  # members stay ascending
+    nodes_s, labels_s = nodes[order], labels[order]
+    bounds = np.flatnonzero(
+        np.concatenate(([True], labels_s[1:] != labels_s[:-1], [True]))
+    )
+    return {
+        int(labels_s[bounds[i]]): nodes_s[bounds[i]:bounds[i + 1]]
+        for i in range(len(bounds) - 1)
+    }

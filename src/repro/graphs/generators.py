@@ -6,6 +6,11 @@ benchmark harness sweeps: the paper's CONGEST result is parameterized by
 (n, D, Δ, C), so the families below cover the interesting corners —
 low diameter (expanders / random regular), high diameter (cycles, paths,
 grids), skewed degrees (power-law), and bounded degree (trees, grids).
+
+Generators emit numpy edge arrays (not Python tuple lists) and hand them to
+the vectorized :class:`Graph` constructor; generators whose edge arrays are
+already canonical (``u < v``, lexsorted, unique) go through the zero-copy
+:meth:`Graph.from_arrays` fast path.
 """
 
 from __future__ import annotations
@@ -34,35 +39,32 @@ def cycle_graph(n: int) -> Graph:
     """The n-cycle: Δ = 2, D = ⌊n/2⌋ — the high-diameter workload."""
     if n < 3:
         raise ValueError("cycle needs n >= 3")
-    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+    u = np.arange(n, dtype=np.int64)
+    return Graph(n, np.stack([u, (u + 1) % n], axis=1))
 
 
 def path_graph(n: int) -> Graph:
-    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+    u = np.arange(max(0, n - 1), dtype=np.int64)
+    return Graph.from_arrays(n, u, u + 1)
 
 
 def complete_graph(n: int) -> Graph:
-    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+    iu, iv = np.triu_indices(n, k=1)
+    return Graph.from_arrays(n, iu.astype(np.int64), iv.astype(np.int64))
 
 
 def star_graph(n: int) -> Graph:
     """One hub and n-1 leaves: maximally skewed degrees."""
-    return Graph(n, [(0, i) for i in range(1, n)])
+    leaves = np.arange(1, max(1, n), dtype=np.int64)
+    return Graph.from_arrays(n, np.zeros(len(leaves), dtype=np.int64), leaves)
 
 
 def grid_graph(rows: int, cols: int) -> Graph:
     """rows × cols grid: Δ = 4, D = rows + cols - 2."""
-    def node(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            if r + 1 < rows:
-                edges.append((node(r, c), node(r + 1, c)))
-            if c + 1 < cols:
-                edges.append((node(r, c), node(r, c + 1)))
-    return Graph(rows * cols, edges)
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    vert = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    horiz = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    return Graph(rows * cols, np.concatenate([vert, horiz]))
 
 
 def random_regular_graph(n: int, d: int, seed: int) -> Graph:
@@ -72,42 +74,42 @@ def random_regular_graph(n: int, d: int, seed: int) -> Graph:
     if (n * d) % 2:
         raise ValueError("n*d must be even for a d-regular graph")
     nx_graph = nx.random_regular_graph(d, n, seed=seed)
-    return Graph(n, [(int(u), int(v)) for u, v in nx_graph.edges()])
+    return Graph(n, np.array(list(nx_graph.edges()), dtype=np.int64))
 
 
 def gnp_graph(n: int, p: float, seed: int) -> Graph:
     """Erdős–Rényi G(n, p)."""
     rng = np.random.default_rng(seed)
-    upper = np.triu_indices(n, k=1)
-    mask = rng.random(len(upper[0])) < p
-    return Graph(n, zip(upper[0][mask], upper[1][mask]))
+    iu, iv = np.triu_indices(n, k=1)
+    mask = rng.random(len(iu)) < p
+    return Graph.from_arrays(
+        n, iu[mask].astype(np.int64), iv[mask].astype(np.int64)
+    )
 
 
 def random_tree(n: int, seed: int) -> Graph:
     """Uniform random labelled tree via a Prüfer sequence."""
     if n <= 1:
-        return Graph(n, [])
+        return Graph(n, np.empty((0, 2), dtype=np.int64))
     if n == 2:
-        return Graph(2, [(0, 1)])
+        return Graph(2, np.array([[0, 1]], dtype=np.int64))
     rng = np.random.default_rng(seed)
     prufer = rng.integers(0, n, size=n - 2)
     degree = np.ones(n, dtype=np.int64)
-    for x in prufer:
-        degree[x] += 1
-    edges = []
+    np.add.at(degree, prufer, 1)
+    # The Prüfer decoding sweep is inherently sequential (heap of leaves).
+    edges = np.empty((n - 1, 2), dtype=np.int64)
     leaves = sorted(int(v) for v in range(n) if degree[v] == 1)
     import heapq
 
     heapq.heapify(leaves)
-    for x in prufer:
+    for i, x in enumerate(prufer):
         leaf = heapq.heappop(leaves)
-        edges.append((leaf, int(x)))
+        edges[i] = leaf, int(x)
         degree[x] -= 1
         if degree[x] == 1:
             heapq.heappush(leaves, int(x))
-    u = heapq.heappop(leaves)
-    v = heapq.heappop(leaves)
-    edges.append((u, v))
+    edges[n - 2] = heapq.heappop(leaves), heapq.heappop(leaves)
     return Graph(n, edges)
 
 
@@ -116,36 +118,37 @@ def power_law_graph(n: int, attach: int, seed: int) -> Graph:
     import networkx as nx
 
     nx_graph = nx.barabasi_albert_graph(n, attach, seed=seed)
-    return Graph(n, [(int(u), int(v)) for u, v in nx_graph.edges()])
+    return Graph(n, np.array(list(nx_graph.edges()), dtype=np.int64))
 
 
 def caterpillar_graph(spine: int, legs: int) -> Graph:
     """A path of length ``spine`` with ``legs`` pendant nodes per spine node."""
-    edges = [(i, i + 1) for i in range(spine - 1)]
-    next_id = spine
-    for i in range(spine):
-        for _ in range(legs):
-            edges.append((i, next_id))
-            next_id += 1
-    return Graph(next_id, edges)
+    sp = np.arange(spine - 1, dtype=np.int64)
+    spine_edges = np.stack([sp, sp + 1], axis=1)
+    leg_u = np.repeat(np.arange(spine, dtype=np.int64), legs)
+    leg_v = spine + np.arange(spine * legs, dtype=np.int64)
+    leg_edges = np.stack([leg_u, leg_v], axis=1)
+    return Graph(spine + spine * legs, np.concatenate([spine_edges, leg_edges]))
 
 
 def random_bipartite_graph(left: int, right: int, p: float, seed: int) -> Graph:
     rng = np.random.default_rng(seed)
-    edges = [
-        (i, left + j)
-        for i in range(left)
-        for j in range(right)
-        if rng.random() < p
-    ]
-    return Graph(left + right, edges)
+    mask = rng.random((left, right)) < p
+    iu, jv = np.nonzero(mask)
+    return Graph.from_arrays(
+        left + right, iu.astype(np.int64), left + jv.astype(np.int64)
+    )
 
 
 def disjoint_union(*graphs: Graph) -> Graph:
     """Disjoint union (exercises per-component diameters; see Thm 1.1 remark)."""
+    us, vs = [], []
     offset = 0
-    edges = []
     for g in graphs:
-        edges.extend((u + offset, v + offset) for u, v in g.edge_list())
+        us.append(g.edges_u + offset)
+        vs.append(g.edges_v + offset)
         offset += g.n
-    return Graph(offset, edges)
+    cat = lambda parts: (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    )
+    return Graph.from_arrays(offset, cat(us), cat(vs))

@@ -5,18 +5,40 @@ The paper's algorithms operate on an undirected communication graph
 structure backed by numpy arrays, plus the handful of graph operations the
 algorithms need (BFS, diameter, connected components, induced subgraphs).
 
+The representation is *array-native end to end*: construction accepts numpy
+edge arrays, canonicalization/dedup, the CSR build, BFS and the derived
+subgraph operations are all vectorized — no per-edge or per-node Python
+loops on the hot paths.  :meth:`Graph.from_arrays` is the trusted zero-copy
+fast path for callers (generators, ``induced_subgraph``, ``filter_edges``)
+that already hold canonical edge arrays.
+
 ``networkx`` interoperability is provided for generators and examples, but
 the hot paths never touch networkx objects.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 __all__ = ["Graph"]
+
+#: Largest n for which a node pair can be encoded as one int64 (n² < 2⁶³).
+_ENCODE_LIMIT = 3_037_000_499
+
+
+def _coerce_edge_array(edges) -> np.ndarray:
+    """Materialize ``edges`` as an ``(m, 2)`` int64 array (no validation)."""
+    if isinstance(edges, np.ndarray):
+        arr = edges
+    else:
+        arr = np.array(list(edges), dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edges must be (m, 2)-shaped pairs, got {arr.shape}")
+    return np.ascontiguousarray(arr, dtype=np.int64)
 
 
 class Graph:
@@ -27,8 +49,10 @@ class Graph:
     n:
         Number of nodes.
     edges:
-        Iterable of ``(u, v)`` pairs with ``u != v``.  Duplicate edges and
-        both orientations of the same edge are collapsed.
+        ``(m, 2)`` integer array or iterable of ``(u, v)`` pairs with
+        ``u != v``.  Duplicate edges and both orientations of the same edge
+        are collapsed; the stored edge arrays are canonical (``u < v``,
+        lexicographically sorted, unique).
     """
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
@@ -36,19 +60,36 @@ class Graph:
             raise ValueError(f"node count must be non-negative, got {n}")
         self.n = int(n)
 
-        canonical: set[tuple[int, int]] = set()
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if u == v:
-                raise ValueError(f"self-loop at node {u} is not allowed")
-            if not (0 <= u < n and 0 <= v < n):
-                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
-            canonical.add((u, v) if u < v else (v, u))
-
-        if canonical:
-            edge_arr = np.array(sorted(canonical), dtype=np.int64)
-            self.edges_u = edge_arr[:, 0].copy()
-            self.edges_v = edge_arr[:, 1].copy()
+        arr = _coerce_edge_array(edges)
+        if arr.shape[0]:
+            u, v = arr[:, 0], arr[:, 1]
+            bad = (u == v) | (u < 0) | (v < 0) | (u >= n) | (v >= n)
+            if bad.any():
+                i = int(np.argmax(bad))
+                bu, bv = int(u[i]), int(v[i])
+                if bu == bv:
+                    raise ValueError(f"self-loop at node {bu} is not allowed")
+                raise ValueError(f"edge ({bu}, {bv}) out of range for n={n}")
+            # Canonical orientation, then lexicographic sort + dedup.  For
+            # graphs whose pair keys fit int64 the (lo, hi) pairs are
+            # encoded as lo·n + hi scalars so one np.unique does both the
+            # sort and the dedup (much faster than np.lexsort).
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            if n <= _ENCODE_LIMIT:
+                keys = np.unique(lo * n + hi)
+                self.edges_u = keys // n
+                self.edges_v = keys % n
+            else:  # pragma: no cover - unreachable at simulable scales
+                order = np.lexsort((hi, lo))
+                lo, hi = lo[order], hi[order]
+                keep = np.empty(len(lo), dtype=bool)
+                keep[0] = True
+                np.logical_or(
+                    lo[1:] != lo[:-1], hi[1:] != hi[:-1], out=keep[1:]
+                )
+                self.edges_u = np.ascontiguousarray(lo[keep])
+                self.edges_v = np.ascontiguousarray(hi[keep])
         else:
             self.edges_u = np.empty(0, dtype=np.int64)
             self.edges_v = np.empty(0, dtype=np.int64)
@@ -56,25 +97,51 @@ class Graph:
         self.m = len(self.edges_u)
         self._build_adjacency()
 
+    @classmethod
+    def from_arrays(cls, n: int, edges_u: np.ndarray, edges_v: np.ndarray) -> "Graph":
+        """Trusted zero-copy constructor from *canonical* edge arrays.
+
+        The caller guarantees ``edges_u[i] < edges_v[i]``, lexicographically
+        sorted, unique, and in range — exactly the invariant of the stored
+        ``edges_u``/``edges_v`` of an existing :class:`Graph`.  No
+        validation, canonicalization, or copying (beyond dtype coercion) is
+        performed, so this is the fast path for derived graphs.
+        """
+        g = cls.__new__(cls)
+        if n < 0:
+            raise ValueError(f"node count must be non-negative, got {n}")
+        g.n = int(n)
+        g.edges_u = np.ascontiguousarray(edges_u, dtype=np.int64)
+        g.edges_v = np.ascontiguousarray(edges_v, dtype=np.int64)
+        g.m = len(g.edges_u)
+        g._build_adjacency()
+        return g
+
     def _build_adjacency(self) -> None:
-        """Build CSR adjacency (``adj_offsets``/``adj_targets``) and degrees."""
-        deg = np.zeros(self.n, dtype=np.int64)
-        np.add.at(deg, self.edges_u, 1)
-        np.add.at(deg, self.edges_v, 1)
-        self.degrees = deg
+        """Vectorized CSR build (``adj_offsets``/``adj_targets``, degrees)."""
+        if self.m:
+            src = np.concatenate([self.edges_u, self.edges_v])
+            dst = np.concatenate([self.edges_v, self.edges_u])
+            self.degrees = np.bincount(src, minlength=self.n).astype(
+                np.int64, copy=False
+            )
+            # Sort by (source, target): each neighborhood comes out
+            # contiguous and sorted — no per-node sort loop.  Directed
+            # pairs are unique, so sorting the encoded src·n + dst scalars
+            # is equivalent to (and faster than) np.lexsort.
+            if self.n <= _ENCODE_LIMIT:
+                keys = src * self.n + dst
+                keys.sort()
+                targets = keys % self.n
+            else:  # pragma: no cover - unreachable at simulable scales
+                order = np.lexsort((dst, src))
+                targets = np.ascontiguousarray(dst[order])
+        else:
+            self.degrees = np.zeros(self.n, dtype=np.int64)
+            targets = np.empty(0, dtype=np.int64)
         offsets = np.zeros(self.n + 1, dtype=np.int64)
-        np.cumsum(deg, out=offsets[1:])
-        targets = np.empty(2 * self.m, dtype=np.int64)
-        cursor = offsets[:-1].copy()
-        for u, v in zip(self.edges_u, self.edges_v):
-            targets[cursor[u]] = v
-            cursor[u] += 1
-            targets[cursor[v]] = u
-            cursor[v] += 1
-        # Sort each neighborhood for determinism.
-        for u in range(self.n):
-            lo, hi = offsets[u], offsets[u + 1]
-            targets[lo:hi] = np.sort(targets[lo:hi])
+        np.cumsum(self.degrees, out=offsets[1:])
+        targets.flags.writeable = False
         self.adj_offsets = offsets
         self.adj_targets = targets
 
@@ -90,8 +157,29 @@ class Graph:
         return int(self.degrees[u])
 
     def neighbors(self, u: int) -> np.ndarray:
-        """Sorted numpy array of neighbors of ``u`` (a view, do not mutate)."""
+        """Sorted numpy array of neighbors of ``u`` (a read-only view)."""
         return self.adj_targets[self.adj_offsets[u]:self.adj_offsets[u + 1]]
+
+    def gather_neighbors(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighborhoods of ``nodes``: ``(sources, targets)``.
+
+        ``sources[i]`` is the node whose (sorted) adjacency list
+        ``targets[i]`` belongs to; neighborhoods appear in the order of
+        ``nodes``.  Fully vectorized — this is the frontier-expansion
+        primitive BFS and the decomposition carving build on.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        starts = self.adj_offsets[nodes]
+        counts = self.adj_offsets[nodes + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        cum_excl = np.cumsum(counts) - counts
+        idx = np.repeat(starts - cum_excl, counts) + np.arange(total)
+        return np.repeat(nodes, counts), self.adj_targets[idx]
 
     def has_edge(self, u: int, v: int) -> bool:
         nbrs = self.neighbors(u)
@@ -99,7 +187,7 @@ class Graph:
         return bool(idx < len(nbrs) and nbrs[idx] == v)
 
     def edge_list(self) -> list[tuple[int, int]]:
-        return [(int(u), int(v)) for u, v in zip(self.edges_u, self.edges_v)]
+        return list(zip(self.edges_u.tolist(), self.edges_v.tolist()))
 
     def nodes(self) -> range:
         return range(self.n)
@@ -110,42 +198,76 @@ class Graph:
     # ------------------------------------------------------------------
     # Traversals and metrics
     # ------------------------------------------------------------------
+    def _bfs(
+        self,
+        sources: Sequence[int],
+        track_parents: bool,
+        targets: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Frontier-synchronous BFS; vectorized level expansion.
+
+        Matches classic FIFO-queue BFS exactly: within a level, a node's
+        parent is the earliest-discovered frontier node adjacent to it
+        (neighborhoods are sorted), so results are deterministic.
+
+        When ``targets`` is given, the traversal stops as soon as every
+        target has been reached; distances/parents of reached nodes are
+        unaffected by the early exit.
+        """
+        dist = np.full(self.n, -1, dtype=np.int64)
+        parent = np.full(self.n, -1, dtype=np.int64) if track_parents else None
+        is_target = None
+        remaining = -1
+        if targets is not None:
+            is_target = np.zeros(self.n, dtype=bool)
+            is_target[np.asarray(targets, dtype=np.int64)] = True
+            remaining = int(is_target.sum())
+        frontier = np.asarray(sources, dtype=np.int64).ravel()
+        if frontier.size:
+            # First-occurrence dedup that preserves the given order.
+            _, first = np.unique(frontier, return_index=True)
+            frontier = frontier[np.sort(first)]
+            dist[frontier] = 0
+            if is_target is not None:
+                remaining -= int(is_target[frontier].sum())
+        level = 0
+        while frontier.size:
+            if is_target is not None and remaining <= 0:
+                break
+            srcs, nbrs = self.gather_neighbors(frontier)
+            unseen = dist[nbrs] == -1
+            nbrs, srcs = nbrs[unseen], srcs[unseen]
+            if nbrs.size == 0:
+                break
+            _, first = np.unique(nbrs, return_index=True)
+            order = np.sort(first)
+            frontier = nbrs[order]
+            level += 1
+            dist[frontier] = level
+            if track_parents:
+                parent[frontier] = srcs[order]
+            if is_target is not None:
+                remaining -= int(is_target[frontier].sum())
+        return dist, parent
+
     def bfs_levels(self, sources: Sequence[int]) -> np.ndarray:
         """BFS distance from the nearest source; -1 for unreachable nodes."""
-        dist = np.full(self.n, -1, dtype=np.int64)
-        queue: deque[int] = deque()
-        for s in sources:
-            if dist[s] == -1:
-                dist[s] = 0
-                queue.append(int(s))
-        while queue:
-            u = queue.popleft()
-            du = dist[u]
-            for v in self.neighbors(u):
-                if dist[v] == -1:
-                    dist[v] = du + 1
-                    queue.append(int(v))
-        return dist
+        return self._bfs(sources, track_parents=False)[0]
 
-    def bfs_tree(self, root: int) -> tuple[np.ndarray, np.ndarray]:
+    def bfs_tree(
+        self, root: int, targets: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """BFS tree from ``root``: ``(parents, depths)``.
 
         ``parents[root] == root``; unreachable nodes get parent -1 and
-        depth -1.  Among equal-depth candidates the smallest-id parent is
-        chosen, so trees are deterministic.
+        depth -1.  A node's parent is the earliest-discovered same-depth
+        candidate (neighborhoods are visited in sorted order), so trees are
+        deterministic.  With ``targets``, traversal stops once all targets
+        are reached (parents/depths of reached nodes are identical to the
+        full traversal; nodes beyond the stopping level stay at -1).
         """
-        parent = np.full(self.n, -1, dtype=np.int64)
-        depth = np.full(self.n, -1, dtype=np.int64)
+        depth, parent = self._bfs([int(root)], track_parents=True, targets=targets)
         parent[root] = root
-        depth[root] = 0
-        queue: deque[int] = deque([int(root)])
-        while queue:
-            u = queue.popleft()
-            for v in self.neighbors(u):
-                if depth[v] == -1:
-                    depth[v] = depth[u] + 1
-                    parent[v] = u
-                    queue.append(int(v))
         return parent, depth
 
     def eccentricity(self, u: int) -> int:
@@ -202,23 +324,23 @@ class Graph:
         """Induced subgraph on ``nodes``.
 
         Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is the
-        original id of the subgraph node ``i``.
+        original id of the subgraph node ``i``.  Vectorized: membership mask
+        + ``np.searchsorted`` relabeling; the relabeled edges stay canonical
+        so the subgraph is built through the :meth:`from_arrays` fast path.
         """
-        original = np.asarray(sorted(int(x) for x in set(nodes)), dtype=np.int64)
-        index = {int(orig): i for i, orig in enumerate(original)}
+        if not isinstance(nodes, np.ndarray):
+            nodes = np.array(sorted(int(x) for x in nodes), dtype=np.int64)
+        original = np.unique(nodes.astype(np.int64, copy=False).ravel())
         keep = np.zeros(self.n, dtype=bool)
         keep[original] = True
-        sub_edges = [
-            (index[int(u)], index[int(v)])
-            for u, v in zip(self.edges_u, self.edges_v)
-            if keep[u] and keep[v]
-        ]
-        return Graph(len(original), sub_edges), original
+        mask = keep[self.edges_u] & keep[self.edges_v]
+        sub_u = np.searchsorted(original, self.edges_u[mask])
+        sub_v = np.searchsorted(original, self.edges_v[mask])
+        return Graph.from_arrays(len(original), sub_u, sub_v), original
 
     def filter_edges(self, mask: np.ndarray) -> "Graph":
         """Graph on the same nodes keeping only edges where ``mask`` is True."""
-        pairs = zip(self.edges_u[mask], self.edges_v[mask])
-        return Graph(self.n, pairs)
+        return Graph.from_arrays(self.n, self.edges_u[mask], self.edges_v[mask])
 
     # ------------------------------------------------------------------
     # networkx interop

@@ -98,10 +98,7 @@ def observation_4_1_lists(graph: Graph, engine: MPCEngine) -> dict:
     also writes (u, deg(u)).  Returns ``{u: sorted list}`` assembled from
     the records (for verification against the direct construction).
     """
-    records = []
-    for u, v in graph.edge_list():
-        records.append(("edge", u, v))
-        records.append(("edge", v, u))
+    records = [("edge", u, v) for u, v in _directed_edges(graph).tolist()]
     for machine in range(engine.num_machines):
         engine.stores[machine] = []
     engine.scatter(records)
@@ -127,14 +124,25 @@ def observation_4_1_lists(graph: Graph, engine: MPCEngine) -> dict:
 # ----------------------------------------------------------------------
 # The coloring solvers.
 # ----------------------------------------------------------------------
+def _directed_edges(graph: Graph) -> np.ndarray:
+    """Both orientations of every edge, interleaved: (u,v), (v,u), ..."""
+    directed = np.empty((2 * graph.m, 2), dtype=np.int64)
+    directed[0::2, 0] = graph.edges_u
+    directed[0::2, 1] = graph.edges_v
+    directed[1::2, 0] = graph.edges_v
+    directed[1::2, 1] = graph.edges_u
+    return directed
+
+
 def _initial_records(instance: ListColoringInstance) -> list:
-    records = []
-    for u, v in instance.graph.edge_list():
-        records.append(("edge", u, v))
-        records.append(("edge", v, u))
-    for u in range(instance.n):
-        for c in instance.lists[u]:
-            records.append(("list", u, int(c)))
+    records = [
+        ("edge", u, v) for u, v in _directed_edges(instance.graph).tolist()
+    ]
+    records.extend(
+        ("list", u, c)
+        for u in range(instance.n)
+        for c in instance.lists[u].tolist()
+    )
     return records
 
 
@@ -306,15 +314,17 @@ def _load_residual_records(
     engine: MPCEngine, graph: Graph, lists: list, colors: np.ndarray
 ) -> None:
     """Replace the stores with the records of the uncolored residual."""
-    records = []
     uncolored = np.flatnonzero(colors == -1)
-    active = {int(v) for v in uncolored}
-    for v in active:
-        for u in graph.neighbors(v):
-            if int(u) in active:
-                records.append(("edge", v, int(u)))
-        for c in lists[v]:
-            records.append(("list", v, int(c)))
+    active_mask = colors == -1
+    srcs, nbrs = graph.gather_neighbors(uncolored)
+    both = active_mask[nbrs]
+    records = [
+        ("edge", v, u)
+        for v, u in np.stack([srcs[both], nbrs[both]], axis=1).tolist()
+    ]
+    records.extend(
+        ("list", int(v), c) for v in uncolored for c in lists[int(v)].tolist()
+    )
     for machine in range(engine.num_machines):
         engine.stores[machine] = []
     engine.scatter(records)
@@ -368,16 +378,19 @@ def _mpc_list_update(
     deleted.  The same deletion is applied to the driver's mirror of the
     lists; both views are asserted equal.
     """
-    records = []
     uncolored = np.flatnonzero(colors == -1)
-    for u in uncolored:
-        for c in lists[int(u)]:
-            records.append(("a", int(u), int(c)))
-    for w in newly_colored:
-        cw = int(colors[w])
-        for u in graph.neighbors(int(w)):
-            if colors[u] == -1:
-                records.append(("b", int(u), cw))
+    records = [
+        ("a", int(u), c) for u in uncolored for c in lists[int(u)].tolist()
+    ]
+    newly = np.asarray(newly_colored, dtype=np.int64)
+    srcs, nbrs = graph.gather_neighbors(newly)
+    open_nbr = colors[nbrs] == -1
+    records.extend(
+        ("b", u, cw)
+        for u, cw in np.stack(
+            [nbrs[open_nbr], colors[srcs][open_nbr]], axis=1
+        ).tolist()
+    )
     for machine in range(engine.num_machines):
         engine.stores[machine] = []
     engine.scatter(records)
@@ -410,25 +423,30 @@ def _mpc_endgame(
     budget of machine 0 is enforced — the endgame is only entered when the
     residual data provably fits.
     """
-    records = []
-    active_set = {int(v) for v in active}
-    for v in active_set:
-        for u in graph.neighbors(v):
-            if int(u) in active_set and v < int(u):
-                records.append(("edge", v, int(u)))
-        for c in lists[v]:
-            records.append(("list", v, int(c)))
+    active = np.asarray(active, dtype=np.int64)
+    active_mask = np.zeros(graph.n, dtype=bool)
+    active_mask[active] = True
+    srcs, nbrs = graph.gather_neighbors(active)
+    forward = active_mask[nbrs] & (srcs < nbrs)
+    records = [
+        ("edge", v, u)
+        for v, u in np.stack([srcs[forward], nbrs[forward]], axis=1).tolist()
+    ]
+    records.extend(
+        ("list", int(v), c) for v in active for c in lists[int(v)].tolist()
+    )
     for machine in range(engine.num_machines):
         engine.stores[machine] = []
     engine.scatter(records)
     engine.exchange(lambda src, store: [(0, r) for r in store])
     ledger.charge("endgame", 2)
 
-    for v in sorted(active_set):
-        taken = {int(colors[u]) for u in graph.neighbors(v) if colors[u] != -1}
-        for c in lists[v]:
-            if int(c) not in taken:
-                colors[v] = int(c)
+    for v in np.sort(active).tolist():
+        nbr_colors = colors[graph.neighbors(v)]
+        taken = set(nbr_colors[nbr_colors != -1].tolist())
+        for c in lists[v].tolist():
+            if c not in taken:
+                colors[v] = c
                 break
         else:
             raise AssertionError(f"endgame found no free color for node {v}")

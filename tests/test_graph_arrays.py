@@ -1,0 +1,247 @@
+"""Array-native graph core: edge cases and vectorized-vs-reference equivalence.
+
+The vectorized construction/BFS paths must be *bit-identical* to the simple
+per-edge reference implementations they replaced — every engine's colorings
+and round counts rest on that.  The reference builders below are straight
+ports of the seed implementation (per-edge loops, per-node neighborhood
+sorts, deque BFS).
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+# ----------------------------------------------------------------------
+# Reference (seed) implementations.
+# ----------------------------------------------------------------------
+def reference_build(n, edges):
+    """The seed's per-edge builder: (edges_u, edges_v, offsets, targets, deg)."""
+    canonical = set()
+    for u, v in edges:
+        u, v = int(u), int(v)
+        canonical.add((u, v) if u < v else (v, u))
+    if canonical:
+        arr = np.array(sorted(canonical), dtype=np.int64)
+        edges_u, edges_v = arr[:, 0].copy(), arr[:, 1].copy()
+    else:
+        edges_u = np.empty(0, dtype=np.int64)
+        edges_v = np.empty(0, dtype=np.int64)
+    deg = np.zeros(n, dtype=np.int64)
+    np.add.at(deg, edges_u, 1)
+    np.add.at(deg, edges_v, 1)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=offsets[1:])
+    targets = np.empty(2 * len(edges_u), dtype=np.int64)
+    cursor = offsets[:-1].copy()
+    for u, v in zip(edges_u, edges_v):
+        targets[cursor[u]] = v
+        cursor[u] += 1
+        targets[cursor[v]] = u
+        cursor[v] += 1
+    for u in range(n):
+        lo, hi = offsets[u], offsets[u + 1]
+        targets[lo:hi] = np.sort(targets[lo:hi])
+    return edges_u, edges_v, offsets, targets, deg
+
+
+def reference_bfs(graph, sources, track_parents=False):
+    """The seed's deque BFS over sorted neighborhoods."""
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    parent = np.full(graph.n, -1, dtype=np.int64)
+    queue = deque()
+    for s in sources:
+        if dist[s] == -1:
+            dist[s] = 0
+            queue.append(int(s))
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] == -1:
+                dist[v] = dist[u] + 1
+                parent[v] = u
+                queue.append(int(v))
+    return (dist, parent) if track_parents else dist
+
+
+def random_edge_soup(rng, n, m):
+    """m random pairs including self-orientation flips and duplicates."""
+    u = rng.integers(0, n, size=m)
+    v = rng.integers(0, n, size=m)
+    ok = u != v
+    base = np.stack([u[ok], v[ok]], axis=1)
+    dups = base[rng.integers(0, max(1, len(base)), size=len(base) // 3)]
+    flipped = dups[:, ::-1]
+    return np.concatenate([base, flipped])
+
+
+# ----------------------------------------------------------------------
+# Edge cases.
+# ----------------------------------------------------------------------
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.n == 0 and g.m == 0 and g.max_degree == 0
+        assert g.adj_offsets.tolist() == [0]
+        assert len(g.adj_targets) == 0
+        assert g.connected_components() == []
+        assert g.diameter() == 0
+
+    def test_single_node(self):
+        g = Graph(1, [])
+        assert g.n == 1 and g.m == 0
+        assert g.degree(0) == 0
+        assert list(g.neighbors(0)) == []
+        np.testing.assert_array_equal(g.bfs_levels([0]), [0])
+        parent, depth = g.bfs_tree(0)
+        assert parent[0] == 0 and depth[0] == 0
+
+    def test_duplicate_and_reversed_edges_collapse(self):
+        g = Graph(4, np.array([[0, 1], [1, 0], [0, 1], [2, 1], [1, 2], [3, 2]]))
+        assert g.m == 3
+        assert g.edge_list() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_array_input_validation(self):
+        with pytest.raises(ValueError):
+            Graph(3, np.array([[1, 1]]))
+        with pytest.raises(ValueError):
+            Graph(3, np.array([[0, 3]]))
+        with pytest.raises(ValueError):
+            Graph(3, np.array([[-1, 0]]))
+
+    def test_empty_subgraph_and_filter(self):
+        g = gen.cycle_graph(6)
+        sub, original = g.induced_subgraph([])
+        assert sub.n == 0 and sub.m == 0 and len(original) == 0
+        filtered = g.filter_edges(np.zeros(g.m, dtype=bool))
+        assert filtered.n == 6 and filtered.m == 0
+
+    def test_induced_subgraph_accepts_any_iterable(self):
+        g = gen.cycle_graph(6)
+        for nodes in ([0, 1, 2, 4], {0, 1, 2, 4}, (v for v in [0, 1, 2, 4])):
+            sub, original = g.induced_subgraph(nodes)
+            assert sub.n == 4 and sub.m == 2
+            np.testing.assert_array_equal(original, [0, 1, 2, 4])
+
+    def test_validator_rejects_duplicate_node_and_phantom_tree_edge(self):
+        from repro.decomposition.network_decomposition import (
+            Cluster,
+            NetworkDecomposition,
+        )
+
+        g = gen.path_graph(3)
+        dup = NetworkDecomposition(
+            graph=g,
+            clusters=[
+                Cluster(np.array([0, 0, 1]), color=1, center=0, tree_edges=[(0, 1)]),
+                Cluster(np.array([2]), color=2, center=2, tree_edges=[]),
+            ],
+            num_colors=2,
+        )
+        with pytest.raises(AssertionError, match="two clusters"):
+            dup.validate()
+        edgeless = NetworkDecomposition(
+            graph=Graph(2, []),
+            clusters=[
+                Cluster(np.array([0, 1]), color=1, center=0, tree_edges=[(0, 1)])
+            ],
+            num_colors=1,
+        )
+        with pytest.raises(AssertionError, match="not an edge of G"):
+            edgeless.validate()
+
+    def test_bfs_tree_early_exit_matches_full_traversal(self):
+        g = gen.cycle_graph(40)
+        full_parent, full_depth = g.bfs_tree(0)
+        parent, depth = g.bfs_tree(0, targets=np.array([1, 2, 3]))
+        reached = depth >= 0
+        np.testing.assert_array_equal(parent[reached], full_parent[reached])
+        np.testing.assert_array_equal(depth[reached], full_depth[reached])
+        assert reached[1] and reached[2] and reached[3]
+
+    def test_from_arrays_matches_constructor(self):
+        g = gen.gnp_graph(30, 0.2, seed=0)
+        h = Graph.from_arrays(g.n, g.edges_u, g.edges_v)
+        np.testing.assert_array_equal(h.adj_offsets, g.adj_offsets)
+        np.testing.assert_array_equal(h.adj_targets, g.adj_targets)
+        np.testing.assert_array_equal(h.degrees, g.degrees)
+
+
+class TestReadOnlyViews:
+    def test_neighbors_view_is_read_only(self):
+        g = gen.cycle_graph(5)
+        nbrs = g.neighbors(0)
+        assert not nbrs.flags.writeable
+        assert not g.adj_targets.flags.writeable
+        with pytest.raises(ValueError):
+            nbrs[0] = 99
+
+
+# ----------------------------------------------------------------------
+# Property-based equivalence with the seed builder.
+# ----------------------------------------------------------------------
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_construction_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        m = int(rng.integers(0, 4 * n))
+        soup = random_edge_soup(rng, n, m)
+        g = Graph(n, soup)
+        eu, ev, offsets, targets, deg = reference_build(n, soup.tolist())
+        np.testing.assert_array_equal(g.edges_u, eu)
+        np.testing.assert_array_equal(g.edges_v, ev)
+        np.testing.assert_array_equal(g.adj_offsets, offsets)
+        np.testing.assert_array_equal(g.adj_targets, targets)
+        np.testing.assert_array_equal(g.degrees, deg)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bfs_matches_reference(self, seed):
+        g = gen.gnp_graph(50, 0.08, seed=seed)
+        rng = np.random.default_rng(seed)
+        sources = rng.integers(0, g.n, size=3).tolist()
+        np.testing.assert_array_equal(
+            g.bfs_levels(sources), reference_bfs(g, sources)
+        )
+        root = sources[0]
+        parent, depth = g.bfs_tree(root)
+        ref_dist, ref_parent = reference_bfs(g, [root], track_parents=True)
+        ref_parent[root] = root
+        np.testing.assert_array_equal(depth, ref_dist)
+        np.testing.assert_array_equal(parent, ref_parent)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_induced_subgraph_matches_reference(self, seed):
+        g = gen.gnp_graph(40, 0.15, seed=seed)
+        rng = np.random.default_rng(seed)
+        nodes = rng.choice(g.n, size=g.n // 2, replace=False)
+        sub, original = g.induced_subgraph(nodes)
+        # Reference: relabel with a dict, rebuild through the constructor.
+        index = {int(o): i for i, o in enumerate(sorted(set(nodes.tolist())))}
+        keep = np.zeros(g.n, dtype=bool)
+        keep[list(index)] = True
+        ref_edges = [
+            (index[int(u)], index[int(v)])
+            for u, v in g.edge_list()
+            if keep[u] and keep[v]
+        ]
+        ref = Graph(len(index), ref_edges)
+        np.testing.assert_array_equal(original, sorted(index))
+        np.testing.assert_array_equal(sub.adj_offsets, ref.adj_offsets)
+        np.testing.assert_array_equal(sub.adj_targets, ref.adj_targets)
+
+    def test_gather_neighbors_concatenates_in_order(self):
+        g = gen.grid_graph(4, 4)
+        nodes = np.array([5, 0, 10])
+        srcs, nbrs = g.gather_neighbors(nodes)
+        expect_srcs, expect_nbrs = [], []
+        for v in nodes:
+            for u in g.neighbors(int(v)):
+                expect_srcs.append(int(v))
+                expect_nbrs.append(int(u))
+        np.testing.assert_array_equal(srcs, expect_srcs)
+        np.testing.assert_array_equal(nbrs, expect_nbrs)
