@@ -30,15 +30,26 @@ __all__ = ["expected_conflicts", "randomized_list_coloring", "RandomColoringStat
 def expected_conflicts(instance: ListColoringInstance) -> float:
     """Exact Σ_v E[X_v] = Σ_v Σ_{u ∈ Γ(v)} |L(u) ∩ L(v)| / (|L(u)|·|L(v)|).
 
-    Eq. (1) proves this is < n whenever |L(v)| ≥ deg(v)+1.
+    Eq. (1) proves this is < n whenever |L(v)| ≥ deg(v)+1.  The per-edge
+    intersection sizes are computed in one batch: both endpoints' lists are
+    CSR-gathered per edge and matched on encoded (edge, color) keys.
     """
     graph = instance.graph
-    total = 0.0
-    for u, v in graph.edge_list():
-        lu, lv = instance.lists[u], instance.lists[v]
-        common = len(np.intersect1d(lu, lv, assume_unique=True))
-        total += 2.0 * common / (len(lu) * len(lv))
-    return total
+    if graph.m == 0:
+        return 0.0
+    store = instance.lists
+    left = store.subset(graph.edges_u)
+    right = store.subset(graph.edges_v)
+    base = np.int64(instance.color_space)
+    edge_of_left = left.node_ids()  # segment index == edge index
+    keys_left = edge_of_left * base + left.values
+    keys_right = right.node_ids() * base + right.values
+    shared = np.isin(keys_left, keys_right, assume_unique=True)
+    common = np.bincount(edge_of_left[shared], minlength=graph.m)
+    sizes = store.sizes.astype(np.float64)
+    return float(
+        (2.0 * common / (sizes[graph.edges_u] * sizes[graph.edges_v])).sum()
+    )
 
 
 class RandomColoringStats:

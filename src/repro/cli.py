@@ -6,17 +6,28 @@ Commands
 ``compare``  run all solvers on one instance and print the round table
 ``decompose`` build and summarize a network decomposition
 
+``color`` and ``compare`` accept ``--json`` to emit a machine-readable
+record (solver, graph parameters, seed, round totals and per-category
+breakdown, and a sha256 of the coloring) so benchmark scripts can consume
+results without scraping tables.  ``--seed`` is threaded through graph
+generation and echoed in the JSON output.
+
 Examples::
 
     python -m repro color --family cycle --n 64 --solver congest
-    python -m repro compare --family regular --n 64 --degree 4
+    python -m repro color --family regular --n 64 --seed 3 --json
+    python -m repro compare --family regular --n 64 --degree 4 --json
     python -m repro decompose --family grid --n 100
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
+
+import numpy as np
 
 from repro.analysis.tables import Table
 from repro.core.instances import make_delta_plus_one_instance
@@ -67,11 +78,32 @@ def _solve(instance, solver: str):
     raise SystemExit(f"unknown solver {solver!r}")
 
 
+def _solver_record(args, graph, solver: str, result) -> dict:
+    """Machine-readable summary of one solver run (the ``--json`` payload)."""
+    return {
+        "solver": solver,
+        "family": args.family,
+        "n": graph.n,
+        "m": graph.m,
+        "max_degree": graph.max_degree,
+        "seed": args.seed,
+        "rounds_total": result.rounds.total,
+        "rounds_breakdown": result.rounds.breakdown(),
+        "num_passes": getattr(result, "num_passes", None),
+        "colors_sha256": hashlib.sha256(
+            np.ascontiguousarray(result.colors, dtype=np.int64).tobytes()
+        ).hexdigest(),
+    }
+
+
 def cmd_color(args) -> int:
     graph = _build_graph(args.family, args.n, args.degree, args.seed)
     instance = make_delta_plus_one_instance(graph)
     result = _solve(instance, args.solver)
     verify_proper_list_coloring(instance, result.colors)
+    if args.json:
+        print(json.dumps(_solver_record(args, graph, args.solver, result)))
+        return 0
     print(
         f"{args.solver}: colored n={graph.n} (Δ={graph.max_degree}) in "
         f"{result.rounds.total} simulated rounds"
@@ -84,14 +116,21 @@ def cmd_color(args) -> int:
 def cmd_compare(args) -> int:
     graph = _build_graph(args.family, args.n, args.degree, args.seed)
     instance = make_delta_plus_one_instance(graph)
+    solvers = ("congest", "polylog", "clique", "mpc-linear", "mpc-sublinear")
+    records = []
+    for solver in solvers:
+        result = _solve(instance, solver)
+        verify_proper_list_coloring(instance, result.colors)
+        records.append(_solver_record(args, graph, solver, result))
+    if args.json:
+        print(json.dumps(records))
+        return 0
     table = Table(
         f"solvers on {args.family} n={graph.n} Δ={graph.max_degree}",
         ["solver", "rounds"],
     )
-    for solver in ("congest", "polylog", "clique", "mpc-linear", "mpc-sublinear"):
-        result = _solve(instance, solver)
-        verify_proper_list_coloring(instance, result.colors)
-        table.add_row(solver, result.rounds.total)
+    for record in records:
+        table.add_row(record["solver"], record["rounds_total"])
     table.show()
     return 0
 
@@ -121,6 +160,8 @@ def main(argv=None) -> int:
         p.add_argument("--n", type=int, default=64)
         p.add_argument("--degree", type=int, default=4)
         p.add_argument("--seed", type=int, default=0)
+        if name in ("color", "compare"):
+            p.add_argument("--json", action="store_true")
         if name == "color":
             p.add_argument("--solver", default="congest")
         p.set_defaults(fn=fn)

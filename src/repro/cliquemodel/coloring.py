@@ -55,6 +55,7 @@ class CliquePassStats:
     phases: int
     seed_segments: int
     rounds: int
+    potential_trace: list = field(default_factory=list)
 
 
 @dataclass
@@ -103,11 +104,7 @@ def solve_list_coloring_clique(
         if endgame and len(active) * (delta + 1) <= 2 * n:
             sub_graph, original = graph.induced_subgraph(active)
             send = np.zeros(n, dtype=np.int64)
-            send[original] = sub_graph.degrees + np.fromiter(
-                (len(lists[int(v)]) for v in original),
-                dtype=np.int64,
-                count=len(original),
-            )
+            send[original] = sub_graph.degrees + lists.sizes[original]
             receive = np.zeros(n, dtype=np.int64)
             receive[0] = int(send.sum())
             if receive[0] <= n:
@@ -126,8 +123,9 @@ def solve_list_coloring_clique(
         bits_per_phase = min(bits_per_phase, instance.color_bits, 6)
 
         sub_graph, original = graph.induced_subgraph(active)
-        sub_lists = [lists[int(v)] for v in original]
-        sub_instance = ListColoringInstance(sub_graph, instance.color_space, sub_lists)
+        sub_instance = ListColoringInstance(
+            sub_graph, instance.color_space, lists.subset(original)
+        )
         outcome = partial_coloring_pass(
             sub_instance,
             psi[original],
@@ -161,6 +159,7 @@ def solve_list_coloring_clique(
                     _segments(rec.seed_bits, lam) for rec in outcome.prefix.phases
                 ),
                 rounds=pass_rounds,
+                potential_trace=outcome.prefix.potential_trace,
             )
         )
 

@@ -144,6 +144,12 @@ def congest_coloring_program(run: CongestColoringRun, root: int, tree: dict):
         uncolored_neighbors = set(ctx.neighbors)
         colors_out = ctx.shared.setdefault("colors", {})
         pass_index = 0
+        # The MIS-stage Linial schedule depends only on (K, Δ ≤ 3): every
+        # node derives it locally, once, and reuses it in every pass.
+        mis_schedule = _linial_schedule(run.num_input_colors, 3)
+        mis_classes = (
+            mis_schedule[-1][0] ** 2 if mis_schedule else run.num_input_colors
+        )
 
         def agg_pair(x, y):
             return (x[0] + y[0], x[1] + y[1], max(x[2], y[2]))
@@ -245,7 +251,7 @@ def congest_coloring_program(run: CongestColoringRun, root: int, tree: dict):
 
             # Linial reduction of ψ on the conflict subgraph (Δ ≤ 3).
             linial_color = int(run.psi[me])
-            for q, t, _k in _linial_schedule(run.num_input_colors, 3):
+            for q, t, _k in mis_schedule:
                 got = yield from exchange(
                     buffer, seq, sorted(ctx.neighbors), linial_color
                 )
@@ -254,13 +260,10 @@ def congest_coloring_program(run: CongestColoringRun, root: int, tree: dict):
                     linial_color = _linial_new_color(
                         linial_color, [got[v] for v in conflict_peers], q, t
                     )
-            final_classes = 1
-            schedule = _linial_schedule(run.num_input_colors, 3)
-            final_classes = schedule[-1][0] ** 2 if schedule else run.num_input_colors
 
             in_mis = False
             blocked = False
-            for cls in range(final_classes):
+            for cls in range(mis_classes):
                 joining = eligible and not blocked and linial_color == cls
                 if joining:
                     in_mis = True

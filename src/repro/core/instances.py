@@ -5,6 +5,12 @@ and, per node v, a color list ``L(v) ⊆ [C]`` with ``|L(v)| ≥ deg(v) + 1``.
 The paper assumes ``C = poly(n)`` so a color fits in O(1) CONGEST messages;
 the constructors here enforce that and the solvers check it.
 
+Color lists live in a :class:`ColorListStore` — a CSR-style flat layout
+(sorted ``values`` + ``offsets``) mirroring the graph's adjacency arrays —
+so every per-phase list operation (bucket counting, shrinking, subset
+extraction, batched deletion) is a flat segmented array op instead of a
+Python loop over nodes.
+
 ``make_delta_plus_one_instance`` implements Observation 4.1: the classic
 (Δ+1)-coloring problem reduces to (degree+1)-list coloring by giving node v
 the list ``{0, .., deg(v)}`` over the color space ``[Δ+1]``.
@@ -19,6 +25,7 @@ import numpy as np
 from repro.graphs.graph import Graph
 
 __all__ = [
+    "ColorListStore",
     "ListColoringInstance",
     "make_delta_plus_one_instance",
     "make_random_lists_instance",
@@ -32,6 +39,205 @@ def ceil_log2(x: int) -> int:
     return int(x - 1).bit_length()
 
 
+class ColorListStore:
+    """CSR-style store of per-node color lists.
+
+    The contract (mirroring ``Graph``'s adjacency arrays):
+
+    * ``values`` — one flat int64 array holding every list back to back,
+      strictly increasing within each node's segment (sorted, deduped);
+    * ``offsets`` — int64 array of length n+1; node v's list is
+      ``values[offsets[v]:offsets[v+1]]`` and its size is the offset diff.
+
+    Both arrays are read-only; every mutation (:meth:`select`,
+    :meth:`delete_pairs`) swaps in freshly built arrays, so views handed out
+    by :meth:`__getitem__` are never silently invalidated in place.
+    """
+
+    __slots__ = ("values", "offsets")
+
+    def __init__(self, values: np.ndarray, offsets: np.ndarray):
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        values.flags.writeable = False
+        offsets.flags.writeable = False
+        self.values = values
+        self.offsets = offsets
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lists(cls, lists, n: int | None = None) -> "ColorListStore":
+        """Build a store from ragged per-node lists (sort + dedup, batched).
+
+        Accepts any iterable of per-node sequences.  Sorting and dedup run
+        as one vectorized pass over the concatenated values (encoded-key
+        ``np.unique``), not per node.
+        """
+        if isinstance(lists, ColorListStore):
+            if n is not None and n != lists.n:
+                raise ValueError(f"store has {lists.n} nodes, expected {n}")
+            return lists.copy()
+        lists = [np.asarray(lst, dtype=np.int64).ravel() for lst in lists]
+        if n is None:
+            n = len(lists)
+        raw_sizes = np.array([len(lst) for lst in lists], dtype=np.int64)
+        total = int(raw_sizes.sum())
+        if total == 0:
+            return cls(
+                np.empty(0, dtype=np.int64), np.zeros(n + 1, dtype=np.int64)
+            )
+        flat = np.concatenate(lists) if len(lists) > 1 else lists[0].copy()
+        node_ids = np.repeat(np.arange(n, dtype=np.int64), raw_sizes)
+        vmax = int(flat.max(initial=0))
+        vmin = int(flat.min(initial=0))
+        if vmin >= 0 and (vmax + 1) * n < np.iinfo(np.int64).max:
+            # Encode (node, value) as one scalar: one np.unique sorts every
+            # segment and dedups within it simultaneously.
+            base = np.int64(vmax + 1)
+            keys = np.unique(node_ids * base + flat)
+            values = keys % base
+            owners = keys // base
+        else:  # negative values are rejected later; keep them to report
+            order = np.lexsort((flat, node_ids))
+            node_s, flat_s = node_ids[order], flat[order]
+            keep = np.empty(len(flat_s), dtype=bool)
+            keep[0] = True
+            np.logical_or(
+                node_s[1:] != node_s[:-1], flat_s[1:] != flat_s[:-1], out=keep[1:]
+            )
+            values = flat_s[keep]
+            owners = node_s[keep]
+        sizes = np.bincount(owners, minlength=n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        return cls(values, offsets)
+
+    def copy(self) -> "ColorListStore":
+        return ColorListStore(self.values.copy(), self.offsets.copy())
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def total(self) -> int:
+        """Total number of stored list entries."""
+        return len(self.values)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Per-node list sizes ``|L(v)|`` (offset diffs)."""
+        return np.diff(self.offsets)
+
+    def node_ids(self) -> np.ndarray:
+        """Owner node of every flat value: ``np.repeat(arange(n), sizes)``."""
+        return np.repeat(np.arange(self.n, dtype=np.int64), self.sizes)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, v: int) -> np.ndarray:
+        """Read-only view of node v's sorted color list."""
+        return self.values[self.offsets[v]:self.offsets[v + 1]]
+
+    def __iter__(self):
+        for v in range(self.n):
+            yield self[v]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColorListStore(n={self.n}, total={self.total})"
+
+    def to_lists(self) -> list:
+        """Materialize ragged per-node copies (tests / slow paths only)."""
+        return [self[v].copy() for v in range(self.n)]
+
+    def _keys(self, base: np.int64) -> np.ndarray:
+        """Encoded (node, value) scalars — globally sorted and unique."""
+        return self.node_ids() * base + self.values
+
+    # ------------------------------------------------------------------
+    # Batched operations (the per-phase hot path)
+    # ------------------------------------------------------------------
+    def subset(self, nodes: np.ndarray) -> "ColorListStore":
+        """CSR slice: the lists of ``nodes``, renumbered to
+        0..len(nodes)-1 in the given order.  Fully vectorized gather;
+        ``nodes`` may repeat (each occurrence gets its own segment)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        starts = self.offsets[nodes]
+        counts = self.offsets[nodes + 1] - starts
+        offsets = np.zeros(len(nodes) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return ColorListStore(np.empty(0, dtype=np.int64), offsets)
+        cum_excl = offsets[:-1]
+        idx = np.repeat(starts - cum_excl, counts) + np.arange(total)
+        return ColorListStore(self.values[idx], offsets)
+
+    def select(self, keep: np.ndarray) -> "ColorListStore":
+        """New store keeping only the flat values where ``keep`` is True.
+
+        ``keep`` is a boolean mask over ``values``; segment order (hence
+        sortedness) is preserved.  This is the one-mask list shrink of the
+        prefix-extension phases.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        kept = np.bincount(self.node_ids()[keep], minlength=self.n)
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(kept, out=offsets[1:])
+        return ColorListStore(self.values[keep], offsets)
+
+    def delete_pairs(self, nodes: np.ndarray, colors: np.ndarray) -> None:
+        """Delete color ``colors[i]`` from node ``nodes[i]``'s list, in place
+        (arrays are swapped).  Pairs may repeat; missing pairs are no-ops.
+
+        One ``np.searchsorted`` over the encoded (node, value) keys replaces
+        the per-node ``np.isin`` loop of the ragged implementation.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        colors = np.asarray(colors, dtype=np.int64)
+        if nodes.size == 0 or self.total == 0:
+            return
+        base = np.int64(
+            max(int(self.values.max(initial=0)), int(colors.max(initial=0))) + 1
+        )
+        keys = self._keys(base)
+        del_keys = nodes * base + colors
+        pos = np.searchsorted(keys, del_keys)
+        in_range = pos < len(keys)
+        cand = pos[in_range]
+        hits = cand[keys[cand] == del_keys[in_range]]
+        if hits.size == 0:
+            return
+        keep = np.ones(len(keys), dtype=bool)
+        keep[hits] = False
+        store = self.select(keep)
+        self.values = store.values
+        self.offsets = store.offsets
+
+    def validate_segments_sorted(self) -> None:
+        """Raise unless every segment is strictly increasing (the CSR
+        contract); vectorized over all boundaries at once."""
+        if self.total < 2:
+            return
+        inner = np.diff(self.values) > 0
+        # Boundaries between consecutive segments are exempt.
+        boundary = np.zeros(self.total - 1, dtype=bool)
+        cuts = self.offsets[1:-1]
+        boundary[cuts[(cuts > 0) & (cuts < self.total)] - 1] = True
+        if not (inner | boundary).all():
+            bad = int(np.argmin(inner | boundary))
+            owner = int(np.searchsorted(self.offsets, bad, side="right")) - 1
+            raise ValueError(
+                f"node {owner}: color list is not strictly increasing"
+            )
+
+
 @dataclass
 class ListColoringInstance:
     """A (degree+1)-list-coloring instance.
@@ -43,50 +249,50 @@ class ListColoringInstance:
     color_space:
         The size C of the global color space [C].
     lists:
-        ``lists[v]`` is a sorted int64 array of the colors in L(v).
+        A :class:`ColorListStore`; ``lists[v]`` is a read-only sorted int64
+        view of L(v).  The constructor also accepts ragged per-node
+        sequences and normalizes them into a store.
     """
 
     graph: Graph
     color_space: int
-    lists: list = field(repr=False)
+    lists: ColorListStore = field(repr=False)
 
     def __post_init__(self) -> None:
-        # np.unique = sorted + deduped in one vectorized step per list.
-        self.lists = [
-            np.unique(np.asarray(lst, dtype=np.int64)) for lst in self.lists
-        ]
+        if isinstance(self.lists, ColorListStore):
+            self.lists.validate_segments_sorted()
+        else:
+            if len(self.lists) != self.graph.n:
+                raise ValueError(
+                    f"expected {self.graph.n} color lists, got {len(self.lists)}"
+                )
+            self.lists = ColorListStore.from_lists(self.lists, self.graph.n)
         self.validate()
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Raise ``ValueError`` unless the instance is well-formed."""
         g = self.graph
-        if len(self.lists) != g.n:
+        if self.lists.n != g.n:
             raise ValueError(
-                f"expected {g.n} color lists, got {len(self.lists)}"
+                f"expected {g.n} color lists, got {self.lists.n}"
             )
         if self.color_space < 1:
             raise ValueError(f"color space must be >= 1, got {self.color_space}")
         if g.n == 0:
             return
-        sizes = self.list_sizes()
+        sizes = self.lists.sizes
         short = sizes < g.degrees + 1
         if short.any():
             v = int(np.argmax(short))
             raise ValueError(
                 f"node {v}: list size {int(sizes[v])} < deg+1 = {g.degree(v) + 1}"
             )
-        # Lists are sorted, so the first/last entries bound the whole list.
-        lo = np.fromiter(
-            (int(lst[0]) if len(lst) else 0 for lst in self.lists),
-            dtype=np.int64,
-            count=g.n,
-        )
-        hi = np.fromiter(
-            (int(lst[-1]) if len(lst) else -1 for lst in self.lists),
-            dtype=np.int64,
-            count=g.n,
-        )
+        # Segments are sorted, so first/last entries bound each whole list;
+        # sizes ≥ 1 here, so offsets index real segment ends.
+        values, offsets = self.lists.values, self.lists.offsets
+        lo = values[offsets[:-1]]
+        hi = values[offsets[1:] - 1]
         bad = (lo < 0) | (hi >= self.color_space)
         if bad.any():
             v = int(np.argmax(bad))
@@ -105,15 +311,13 @@ class ListColoringInstance:
         return self.graph.n
 
     def list_sizes(self) -> np.ndarray:
-        return np.fromiter(
-            (len(lst) for lst in self.lists), dtype=np.int64, count=self.graph.n
-        )
+        return self.lists.sizes
 
-    def copy_lists(self) -> list:
-        return [lst.copy() for lst in self.lists]
+    def copy_lists(self) -> ColorListStore:
+        return self.lists.copy()
 
     def restrict(self, nodes) -> tuple["ListColoringInstance", np.ndarray]:
-        """Induced sub-instance on ``nodes`` (lists are copied unchanged).
+        """Induced sub-instance on ``nodes`` (lists are CSR-sliced).
 
         Note: the caller is responsible for having already pruned lists so
         the (degree+1) condition holds on the subgraph — which it always
@@ -121,18 +325,27 @@ class ListColoringInstance:
         can only help.
         """
         sub, original = self.graph.induced_subgraph(nodes)
-        sub_lists = [self.lists[int(orig)].copy() for orig in original]
         return (
-            ListColoringInstance(sub, self.color_space, sub_lists),
+            ListColoringInstance(sub, self.color_space, self.lists.subset(original)),
             original,
         )
 
 
 def make_delta_plus_one_instance(graph: Graph) -> ListColoringInstance:
-    """Observation 4.1: reduce (Δ+1)-coloring to (degree+1)-list coloring."""
+    """Observation 4.1: reduce (Δ+1)-coloring to (degree+1)-list coloring.
+
+    The store is assembled directly in CSR form: node v's segment is
+    ``0..deg(v)``, i.e. one ranged arange per segment, built with the same
+    cumulative-offset trick as ``gather_neighbors``.
+    """
     delta = graph.max_degree
-    lists = [np.arange(graph.degree(v) + 1, dtype=np.int64) for v in range(graph.n)]
-    return ListColoringInstance(graph, delta + 1, lists)
+    sizes = graph.degrees + 1
+    offsets = np.zeros(graph.n + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    total = int(offsets[-1])
+    values = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], sizes)
+    store = ColorListStore(values, offsets)
+    return ListColoringInstance(graph, delta + 1, store)
 
 
 def make_random_lists_instance(
@@ -145,6 +358,8 @@ def make_random_lists_instance(
 
     Used by tests and benchmarks to build adversarial-ish list-coloring
     workloads; the list-size lower bound ``deg(v)+1`` is always respected.
+    The per-node ``rng.choice`` draws are kept sequential in node order so
+    the generated instances are stable under a fixed seed.
     """
     lists = []
     for v in range(graph.n):

@@ -131,9 +131,8 @@ def solve_list_coloring_congest(
             )
 
         sub_graph, original = graph.induced_subgraph(active)
-        sub_lists = [lists[int(v)] for v in original]
         sub_instance = ListColoringInstance(
-            sub_graph, instance.color_space, sub_lists
+            sub_graph, instance.color_space, lists.subset(original)
         )
         outcome = partial_coloring_pass(
             sub_instance,

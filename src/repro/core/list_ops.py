@@ -6,49 +6,27 @@ survives: each colored neighbor reduces the uncolored degree by one and
 removes at most one list entry).  The CONGEST engine, the CONGESTED CLIQUE
 engine, the decomposed polylog solver and the randomized baseline all
 perform this update; this module provides one batched implementation built
-on :meth:`Graph.gather_neighbors` instead of per-node Python loops.
+on :meth:`Graph.gather_neighbors` and the CSR
+:class:`~repro.core.instances.ColorListStore`.
 
-Lists are kept as sorted int64 arrays throughout, so a pruned list is the
-sorted set difference — computed with a single ``np.isin`` per node that
-actually loses colors.
+The (node, color) deletion pairs are gathered with one neighborhood
+expansion and applied with one encoded-key ``searchsorted`` over the flat
+store (:meth:`ColorListStore.delete_pairs`) — no per-node Python loops.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.instances import ColorListStore
 from repro.graphs.graph import Graph
 
 __all__ = ["prune_lists_after_coloring", "prune_lists_against_colored"]
 
 
-def _apply_group_deletions(
-    lists: list, nodes: np.ndarray, taken: np.ndarray
-) -> None:
-    """Delete ``taken[i]`` from ``lists[nodes[i]]``, grouping by node.
-
-    ``nodes`` may repeat; entries are grouped with one stable sort and each
-    affected list is rewritten at most once.
-    """
-    if nodes.size == 0:
-        return
-    order = np.argsort(nodes, kind="stable")
-    nodes_s = nodes[order]
-    taken_s = taken[order]
-    bounds = np.flatnonzero(
-        np.concatenate(([True], nodes_s[1:] != nodes_s[:-1], [True]))
-    )
-    for i in range(len(bounds) - 1):
-        u = int(nodes_s[bounds[i]])
-        lst = lists[u]
-        keep = ~np.isin(lst, taken_s[bounds[i]:bounds[i + 1]])
-        if not keep.all():
-            lists[u] = lst[keep]
-
-
 def prune_lists_after_coloring(
     graph: Graph,
-    lists: list,
+    lists: ColorListStore,
     colors: np.ndarray,
     newly_colored: np.ndarray,
 ) -> None:
@@ -59,12 +37,12 @@ def prune_lists_after_coloring(
         return
     srcs, nbrs = graph.gather_neighbors(newly)
     uncolored = colors[nbrs] == -1
-    _apply_group_deletions(lists, nbrs[uncolored], colors[srcs][uncolored])
+    lists.delete_pairs(nbrs[uncolored], colors[srcs][uncolored])
 
 
 def prune_lists_against_colored(
     graph: Graph,
-    lists: list,
+    lists: ColorListStore,
     colors: np.ndarray,
     nodes: np.ndarray,
 ) -> None:
@@ -75,4 +53,4 @@ def prune_lists_against_colored(
         return
     srcs, nbrs = graph.gather_neighbors(nodes)
     colored = colors[nbrs] != -1
-    _apply_group_deletions(lists, srcs[colored], colors[nbrs][colored])
+    lists.delete_pairs(srcs[colored], colors[nbrs][colored])

@@ -115,18 +115,19 @@ def partial_coloring_pass(
 
     remap = np.full(n, -1, dtype=np.int64)
     remap[eligible_ids] = np.arange(len(eligible_ids))
-    conflict_sub = Graph(
-        len(eligible_ids), zip(remap[sub_u], remap[sub_v])
-    )
+    sub_u = remap[sub_u]
+    sub_v = remap[sub_v]
 
     if avoid_mis:
         # Conflict degree ≤ 1: the higher id of each conflicting pair joins;
         # isolated eligible nodes join.  One CONGEST round.
         members = np.ones(len(eligible_ids), dtype=bool)
-        for u, v in zip(remap[sub_u], remap[sub_v]):
-            members[min(u, v)] = False
+        members[np.minimum(sub_u, sub_v)] = False
         mis_rounds = 1
     else:
+        conflict_sub = Graph(
+            len(eligible_ids), np.stack([sub_u, sub_v], axis=1)
+        )
         mis = mis_bounded_degree(
             conflict_sub, psi[eligible_ids], num_input_colors
         )

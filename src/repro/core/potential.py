@@ -179,14 +179,21 @@ class PhaseEstimator:
 
     # ------------------------------------------------------------------
     def buckets_for_sigma_matrix(self, s1: int) -> np.ndarray:
-        """Bucket selected by every node for every σ; shape (n, 2^b)."""
+        """Bucket selected by every node for every σ; shape (n, 2^b).
+
+        The per-node ``searchsorted`` is replaced by broadcast comparisons
+        against the (n, 2^r+1) threshold matrix: the bucket index is the
+        number of interior thresholds ≤ y (T[:, 0] = 0 always counts, and
+        T[:, 2^r] = 2^b never does since y < 2^b).  The loop below is over
+        the 2^r bucket columns — a constant — not over nodes.
+        """
         g = self.family.g_values(s1, self.psi)
         sigmas = np.arange(self.scale, dtype=np.int64)
         n = len(self.psi)
-        buckets = np.empty((n, int(self.scale)), dtype=np.int64)
-        for v in range(n):
-            y = g[v] ^ sigmas
-            buckets[v] = np.searchsorted(self.thresholds[v], y, side="right") - 1
+        y = g[:, None] ^ sigmas[None, :]
+        buckets = np.zeros((n, int(self.scale)), dtype=np.int64)
+        for w in range(1, self.num_buckets):
+            buckets += self.thresholds[:, w, None] <= y
         np.clip(buckets, 0, self.num_buckets - 1, out=buckets)
         return buckets
 
@@ -208,14 +215,16 @@ class PhaseEstimator:
         return total
 
     def buckets_for_seed(self, s1: int, sigma: int) -> np.ndarray:
-        """Bucket chosen by each node under the (deterministic) seed."""
+        """Bucket chosen by each node under the (deterministic) seed.
+
+        One broadcast comparison of every node's y value against its row of
+        the threshold matrix replaces the per-node ``searchsorted`` loop.
+        """
         g = self.family.g_values(s1, self.psi)
         y = g ^ np.int64(sigma)
-        buckets = np.empty(len(self.psi), dtype=np.int64)
-        for v in range(len(self.psi)):
-            buckets[v] = (
-                np.searchsorted(self.thresholds[v], y[v], side="right") - 1
-            )
+        buckets = (self.thresholds[:, 1:] <= y[:, None]).sum(
+            axis=1, dtype=np.int64
+        )
         np.clip(buckets, 0, self.num_buckets - 1, out=buckets)
         chosen = self.counts[np.arange(len(self.psi)), buckets]
         if (chosen <= 0).any():

@@ -54,17 +54,17 @@ class PrefixResult:
 
 
 def _bucket_counts(
-    cand_lists: list, shift: int, r: int
+    node_ids: np.ndarray, flat_buckets: np.ndarray, n: int, r: int
 ) -> np.ndarray:
-    """k_w(v): per node, candidate colors whose next r bits equal w."""
-    n = len(cand_lists)
+    """k_w(v): per node, candidate colors whose next r bits equal w.
+
+    One ``np.bincount`` over the combined ``node · 2^r + bucket`` keys of
+    the flat CSR values — no per-node loop.
+    """
     width = 1 << r
-    counts = np.zeros((n, width), dtype=np.int64)
-    mask = width - 1
-    for v in range(n):
-        buckets = (cand_lists[v] >> shift) & mask
-        counts[v] = np.bincount(buckets, minlength=width)
-    return counts
+    return np.bincount(
+        node_ids * width + flat_buckets, minlength=n * width
+    ).reshape(n, width)
 
 
 def _phase_budget(phi_prev: float, num_edges: int, b: int, r: int) -> float:
@@ -135,7 +135,7 @@ def extend_prefixes(
             np.add.at(deg, edges_v, 1)
         return deg
 
-    sizes = np.array([len(c) for c in cand], dtype=np.int64)
+    sizes = cand.sizes
     result = PrefixResult(
         candidates=np.empty(n, dtype=np.int64),
         conflict_degrees=np.zeros(n, dtype=np.int64),
@@ -153,7 +153,10 @@ def extend_prefixes(
         r = 1 if r_schedule is None else int(r_schedule(phase_index, bits_left))
         r = max(1, min(r, bits_left))
         shift = bits_left - r
-        counts = _bucket_counts(cand, shift, r)
+        mask = (1 << r) - 1
+        node_ids = cand.node_ids()
+        flat_buckets = (cand.values >> shift) & mask
+        counts = _bucket_counts(node_ids, flat_buckets, n, r)
         if accuracy_override is not None:
             b = max(1, int(accuracy_override))
         else:
@@ -174,16 +177,15 @@ def extend_prefixes(
 
         buckets = estimator.buckets_for_seed(s1, sigma)
 
-        # Shrink candidate lists to the chosen bucket; never empty.
-        mask = (1 << r) - 1
-        for v in range(n):
-            selected = ((cand[v] >> shift) & mask) == buckets[v]
-            cand[v] = cand[v][selected]
-            if len(cand[v]) == 0:
-                raise AssertionError(
-                    f"candidate list of node {v} became empty (phase {phase_index})"
-                )
-        sizes = np.array([len(c) for c in cand], dtype=np.int64)
+        # Shrink candidate lists to the chosen bucket: one boolean mask on
+        # the flat values array; never empty.
+        cand = cand.select(flat_buckets == buckets[node_ids])
+        sizes = cand.sizes
+        if (sizes == 0).any():
+            v = int(np.argmax(sizes == 0))
+            raise AssertionError(
+                f"candidate list of node {v} became empty (phase {phase_index})"
+            )
 
         # Conflict edges survive only when both endpoints chose the bucket.
         if len(edges_u):
@@ -228,7 +230,7 @@ def extend_prefixes(
         phase_index += 1
 
     if strict:
-        if any(len(c) != 1 for c in cand):
+        if (cand.sizes != 1).any():
             raise AssertionError("a candidate list has size != 1 after all phases")
         bound = n if strengthen > 1 else 2 * n
         if rng is None and accuracy_override is None and phi > bound + 1e-6:
@@ -236,7 +238,8 @@ def extend_prefixes(
                 f"final potential {phi} exceeds the Lemma 2.1 bound {bound}"
             )
 
-    result.candidates = np.array([int(c[0]) for c in cand], dtype=np.int64)
+    # Every segment has size 1, so the flat values ARE the candidates.
+    result.candidates = cand.values.copy()
     result.conflict_edges_u = edges_u
     result.conflict_edges_v = edges_v
     result.conflict_degrees = conflict_degrees()

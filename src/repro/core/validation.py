@@ -34,17 +34,42 @@ def verify_proper_coloring(graph: Graph, colors: np.ndarray) -> None:
         )
 
 
+def _check_list_membership(
+    instance: ListColoringInstance, nodes: np.ndarray, colors: np.ndarray
+) -> None:
+    """Raise unless ``colors[i] ∈ L(nodes[i])`` for all i (one batched
+    encoded-key ``searchsorted`` over the CSR store, no per-node loop)."""
+    if nodes.size == 0:
+        return
+    store = instance.lists
+    in_space = (colors >= 0) & (colors < instance.color_space)
+    if not in_space.all():
+        v = int(nodes[np.argmin(in_space)])
+        raise AssertionError(
+            f"node {v} colored {int(colors[np.argmin(in_space)])}, "
+            f"not in its list"
+        )
+    base = np.int64(instance.color_space)
+    keys = store.node_ids() * base + store.values
+    want = nodes.astype(np.int64) * base + colors.astype(np.int64)
+    pos = np.searchsorted(keys, want)
+    found = (pos < len(keys)) & (keys[np.minimum(pos, len(keys) - 1)] == want)
+    if not found.all():
+        i = int(np.argmin(found))
+        raise AssertionError(
+            f"node {int(nodes[i])} colored {int(colors[i])}, not in its list"
+        )
+
+
 def verify_proper_list_coloring(
     instance: ListColoringInstance, colors: np.ndarray
 ) -> None:
     """Proper coloring *and* every node colored from its own list."""
     verify_proper_coloring(instance.graph, colors)
-    for v in range(instance.n):
-        c = int(colors[v])
-        lst = instance.lists[v]
-        idx = np.searchsorted(lst, c)
-        if idx >= len(lst) or lst[idx] != c:
-            raise AssertionError(f"node {v} colored {c}, not in its list")
+    colors = np.asarray(colors, dtype=np.int64)
+    _check_list_membership(
+        instance, np.arange(instance.n, dtype=np.int64), colors
+    )
 
 
 def verify_partial_list_coloring(
@@ -58,12 +83,8 @@ def verify_partial_list_coloring(
         both = colored[eu] & colored[ev]
         if (colors[eu][both] == colors[ev][both]).any():
             raise AssertionError("monochromatic edge between two colored nodes")
-    for v in np.flatnonzero(colored):
-        c = int(colors[v])
-        lst = instance.lists[int(v)]
-        idx = np.searchsorted(lst, c)
-        if idx >= len(lst) or lst[idx] != c:
-            raise AssertionError(f"node {int(v)} colored {c}, not in its list")
+    nodes = np.flatnonzero(colored)
+    _check_list_membership(instance, nodes, colors[nodes])
 
 
 def verify_independent_set(graph: Graph, members: np.ndarray) -> None:

@@ -104,9 +104,8 @@ def solve_list_coloring_polylog(
             prune_lists_against_colored(graph, lists, colors, nodes)
 
             sub_graph, original = graph.induced_subgraph(nodes)
-            sub_lists = [lists[int(v)] for v in original]
             sub_instance = ListColoringInstance(
-                sub_graph, instance.color_space, sub_lists
+                sub_graph, instance.color_space, lists.subset(original)
             )
             # Aggregation over the cluster's Steiner tree: depth ≤ its
             # weak radius; use the carving radius bound (tree depth).

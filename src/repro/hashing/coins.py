@@ -76,15 +76,15 @@ def select_buckets(thresholds: np.ndarray, y: np.ndarray) -> np.ndarray:
     """
     thresholds = np.asarray(thresholds, dtype=np.int64)
     y = np.asarray(y, dtype=np.int64)
-    n, width = thresholds.shape
-    # searchsorted per row: bucket w such that T[w] <= y < T[w+1].
-    buckets = np.empty(n, dtype=np.int64)
-    for v in range(n):
-        buckets[v] = np.searchsorted(thresholds[v], y[v], side="right") - 1
+    width = thresholds.shape[1]
+    # Rowwise rank of y among the thresholds: bucket w has T[w] <= y <
+    # T[w+1].  T[:, 0] = 0 always satisfies the inequality, so counting the
+    # remaining columns gives the bucket index directly (broadcast, no
+    # per-node searchsorted loop).
+    buckets = (thresholds[:, 1:] <= y[:, None]).sum(axis=1, dtype=np.int64)
     # Guard against landing exactly on an empty interval boundary: since
-    # side="right" and intervals of empty buckets are empty, the selected
-    # bucket always has T[w] < T[w+1] unless y == T[w] == T[w+1], which
-    # searchsorted(side="right") skips past.  Clamp to the last bucket.
+    # intervals of empty buckets are empty, the selected bucket always has
+    # T[w] < T[w+1].  Clamp to the last bucket.
     np.clip(buckets, 0, width - 2, out=buckets)
     return buckets
 

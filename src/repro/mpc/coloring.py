@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.instances import ListColoringInstance
+from repro.core.instances import ColorListStore, ListColoringInstance
 from repro.core.partial_coloring import partial_coloring_pass
 from repro.core.validation import verify_proper_list_coloring
 from repro.engine.rounds import RoundLedger
@@ -66,6 +66,7 @@ class MPCPassStats:
     bits_per_phase: int
     phases: int
     rounds_charged: int
+    potential_trace: list = field(default_factory=list)
 
 
 @dataclass
@@ -138,10 +139,10 @@ def _initial_records(instance: ListColoringInstance) -> list:
     records = [
         ("edge", u, v) for u, v in _directed_edges(instance.graph).tolist()
     ]
+    store = instance.lists
     records.extend(
         ("list", u, c)
-        for u in range(instance.n)
-        for c in instance.lists[u].tolist()
+        for u, c in zip(store.node_ids().tolist(), store.values.tolist())
     )
     return records
 
@@ -220,9 +221,8 @@ def solve_list_coloring_mpc(
             r_schedule = None  # one bit per phase
 
         sub_graph, original = graph.induced_subgraph(active)
-        sub_lists = [lists[int(v)] for v in original]
         sub_instance = ListColoringInstance(
-            sub_graph, instance.color_space, sub_lists
+            sub_graph, instance.color_space, lists.subset(original)
         )
 
         # Maintain the residual records under the current placement (the
@@ -298,6 +298,7 @@ def solve_list_coloring_mpc(
                 else 0,
                 phases=len(outcome.prefix.phases),
                 rounds_charged=pass_rounds,
+                potential_trace=outcome.prefix.potential_trace,
             )
         )
 
@@ -311,7 +312,7 @@ def solve_list_coloring_mpc(
 
 
 def _load_residual_records(
-    engine: MPCEngine, graph: Graph, lists: list, colors: np.ndarray
+    engine: MPCEngine, graph: Graph, lists: ColorListStore, colors: np.ndarray
 ) -> None:
     """Replace the stores with the records of the uncolored residual."""
     uncolored = np.flatnonzero(colors == -1)
@@ -322,8 +323,12 @@ def _load_residual_records(
         ("edge", v, u)
         for v, u in np.stack([srcs[both], nbrs[both]], axis=1).tolist()
     ]
+    residual = lists.subset(uncolored)
     records.extend(
-        ("list", int(v), c) for v in uncolored for c in lists[int(v)].tolist()
+        ("list", v, c)
+        for v, c in zip(
+            uncolored[residual.node_ids()].tolist(), residual.values.tolist()
+        )
     )
     for machine in range(engine.num_machines):
         engine.stores[machine] = []
@@ -365,7 +370,7 @@ def _exchange_edge_payloads(engine: MPCEngine, ledger: RoundLedger) -> None:
 def _mpc_list_update(
     engine: MPCEngine,
     graph: Graph,
-    lists: list,
+    lists: ColorListStore,
     colors: np.ndarray,
     newly_colored: np.ndarray,
     ledger: RoundLedger,
@@ -379,17 +384,21 @@ def _mpc_list_update(
     lists; both views are asserted equal.
     """
     uncolored = np.flatnonzero(colors == -1)
+    before = lists.subset(uncolored)
     records = [
-        ("a", int(u), c) for u in uncolored for c in lists[int(u)].tolist()
+        ("a", u, c)
+        for u, c in zip(
+            uncolored[before.node_ids()].tolist(), before.values.tolist()
+        )
     ]
     newly = np.asarray(newly_colored, dtype=np.int64)
     srcs, nbrs = graph.gather_neighbors(newly)
     open_nbr = colors[nbrs] == -1
+    del_nodes = nbrs[open_nbr]
+    del_colors = colors[srcs][open_nbr]
     records.extend(
         ("b", u, cw)
-        for u, cw in np.stack(
-            [nbrs[open_nbr], colors[srcs][open_nbr]], axis=1
-        ).tolist()
+        for u, cw in np.stack([del_nodes, del_colors], axis=1).tolist()
     )
     for machine in range(engine.num_machines):
         engine.stores[machine] = []
@@ -399,20 +408,33 @@ def _mpc_list_update(
     )
     ledger.charge("list_update", SORT_ROUNDS + 2)
 
-    surviving: dict = {int(u): [] for u in uncolored}
+    # Driver mirror: the same deletion as one batched CSR update ...
+    lists.delete_pairs(del_nodes, del_colors)
+    # ... asserted equal to the records the MPC set-difference kept.
+    surv_nodes = []
+    surv_colors = []
     for store in engine.stores:
-        for (tag, u, c), present in store:
+        for (_tag, u, c), present in store:
             if not present:
-                surviving[u].append(c)
-    for u in uncolored:
-        u = int(u)
-        lists[u] = np.array(sorted(surviving[u]), dtype=np.int64)
+                surv_nodes.append(u)
+                surv_colors.append(c)
+    surv_nodes = np.asarray(surv_nodes, dtype=np.int64)
+    surv_colors = np.asarray(surv_colors, dtype=np.int64)
+    order = np.lexsort((surv_colors, surv_nodes))
+    after = lists.subset(uncolored)
+    if not (
+        np.array_equal(surv_nodes[order], uncolored[after.node_ids()])
+        and np.array_equal(surv_colors[order], after.values)
+    ):
+        raise AssertionError(
+            "MPC set-difference and the CSR mirror update disagree"
+        )
 
 
 def _mpc_endgame(
     engine: MPCEngine,
     graph: Graph,
-    lists: list,
+    lists: ColorListStore,
     colors: np.ndarray,
     active: np.ndarray,
     ledger: RoundLedger,
@@ -432,8 +454,12 @@ def _mpc_endgame(
         ("edge", v, u)
         for v, u in np.stack([srcs[forward], nbrs[forward]], axis=1).tolist()
     ]
+    residual = lists.subset(active)
     records.extend(
-        ("list", int(v), c) for v in active for c in lists[int(v)].tolist()
+        ("list", v, c)
+        for v, c in zip(
+            active[residual.node_ids()].tolist(), residual.values.tolist()
+        )
     )
     for machine in range(engine.num_machines):
         engine.stores[machine] = []

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -24,6 +26,37 @@ class TestCLI:
         out = capsys.readouterr().out
         for solver in ("congest", "polylog", "clique", "mpc-linear"):
             assert solver in out
+
+    def test_color_json_output(self, capsys):
+        assert main(
+            ["color", "--family", "cycle", "--n", "12", "--seed", "5", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["solver"] == "congest"
+        assert record["n"] == 12
+        assert record["seed"] == 5
+        assert record["rounds_total"] == sum(
+            record["rounds_breakdown"].values()
+        )
+        assert len(record["colors_sha256"]) == 64
+
+    def test_color_json_seed_changes_graph(self, capsys):
+        hashes = []
+        for seed in (0, 1):
+            assert main(
+                ["color", "--family", "regular", "--n", "16", "--degree", "3",
+                 "--seed", str(seed), "--json"]
+            ) == 0
+            hashes.append(json.loads(capsys.readouterr().out)["colors_sha256"])
+        assert hashes[0] != hashes[1]
+
+    def test_compare_json_output(self, capsys):
+        assert main(["compare", "--family", "cycle", "--n", "12", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["solver"] for r in records] == [
+            "congest", "polylog", "clique", "mpc-linear", "mpc-sublinear"
+        ]
+        assert all(r["rounds_total"] > 0 for r in records)
 
     def test_decompose_command(self, capsys):
         assert main(["decompose", "--family", "grid", "--n", "25"]) == 0
