@@ -5,11 +5,15 @@ Public API
 ----------
 Instances
     :class:`~repro.core.instances.ListColoringInstance`,
+    :class:`~repro.core.instances.BatchedListColoringInstance`
+    (k vertex-disjoint instances as one array program),
     :func:`~repro.core.instances.make_delta_plus_one_instance`,
     :func:`~repro.core.instances.make_random_lists_instance`
 Solvers
     :func:`~repro.core.list_coloring.solve_list_coloring_congest`
     (Theorem 1.1),
+    :func:`~repro.core.list_coloring.solve_list_coloring_batch`
+    (Theorem 1.1 over a whole batch, shared-seed phase fusion),
     :func:`~repro.decomposition.decomposed_coloring.solve_list_coloring_polylog`
     (Corollary 1.2),
     :func:`~repro.cliquemodel.coloring.solve_list_coloring_clique`
@@ -24,11 +28,17 @@ Graphs
 """
 
 from repro.core.instances import (
+    BatchedListColoringInstance,
     ListColoringInstance,
     make_delta_plus_one_instance,
     make_random_lists_instance,
 )
-from repro.core.list_coloring import ColoringResult, solve_list_coloring_congest
+from repro.core.list_coloring import (
+    BatchColoringResult,
+    ColoringResult,
+    solve_list_coloring_batch,
+    solve_list_coloring_congest,
+)
 from repro.core.validation import (
     verify_proper_coloring,
     verify_proper_list_coloring,
@@ -39,10 +49,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Graph",
+    "BatchedListColoringInstance",
     "ListColoringInstance",
+    "BatchColoringResult",
     "ColoringResult",
     "make_delta_plus_one_instance",
     "make_random_lists_instance",
+    "solve_list_coloring_batch",
     "solve_list_coloring_congest",
     "verify_proper_coloring",
     "verify_proper_list_coloring",

@@ -26,9 +26,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.potential import PhaseEstimator
+from repro.core.potential import (
+    PhaseEstimator,
+    exact_by_sigma_grouped,
+    expected_by_s1_grouped,
+)
 
-__all__ = ["SeedChoice", "fix_bits_greedily", "derandomize_phase"]
+__all__ = [
+    "SeedChoice",
+    "fix_bits_greedily",
+    "derandomize_phase",
+    "derandomize_phase_group",
+]
 
 
 @dataclass
@@ -59,28 +68,39 @@ def fix_bits_greedily(values: np.ndarray) -> tuple[int, list[float]]:
     mean over the surviving block), which is non-increasing by the law of
     total expectation.
     """
-    size = len(values)
+    lo, trace = fix_bits_greedily_many(np.asarray(values)[None, :])
+    return int(lo[0]), trace[0]
+
+
+def fix_bits_greedily_many(rows: np.ndarray) -> tuple[np.ndarray, list[list[float]]]:
+    """:func:`fix_bits_greedily` over every row of a matrix at once.
+
+    One prefix-sum matrix and one vectorized comparison per bit serve all
+    rows; the per-row arithmetic (block means from prefix differences) is
+    exactly the scalar version's, so choices and traces are identical.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    num, size = rows.shape
     if size & (size - 1):
         raise ValueError(f"conditional-value array length {size} is not a power of 2")
     # Prefix sums let every block mean be computed in O(1).
-    prefix = np.concatenate([[0.0], np.cumsum(values, dtype=np.float64)])
+    prefix = np.zeros((num, size + 1), dtype=np.float64)
+    np.cumsum(rows, axis=1, dtype=np.float64, out=prefix[:, 1:])
 
-    def block_mean(lo: int, length: int) -> float:
-        return (prefix[lo + length] - prefix[lo]) / length
-
-    lo = 0
-    trace: list[float] = []
+    rng = np.arange(num)
+    lo = np.zeros(num, dtype=np.int64)
+    traces: list[list[float]] = [[] for _ in range(num)]
     while size > 1:
         half = size // 2
-        mean0 = block_mean(lo, half)
-        mean1 = block_mean(lo + half, half)
-        if mean1 < mean0:
-            lo += half
-            trace.append(mean1)
-        else:
-            trace.append(mean0)
+        mean0 = (prefix[rng, lo + half] - prefix[rng, lo]) / half
+        mean1 = (prefix[rng, lo + size] - prefix[rng, lo + half]) / half
+        take1 = mean1 < mean0
+        lo = np.where(take1, lo + half, lo)
+        chosen = np.where(take1, mean1, mean0)
+        for j in range(num):
+            traces[j].append(float(chosen[j]))
         size = half
-    return lo, trace
+    return lo, traces
 
 
 def derandomize_phase(
@@ -95,50 +115,90 @@ def derandomize_phase(
     ``val2[σ]`` array and fixes the b bits of σ.  When ``strict``, internal
     consistency (mean of val2 equals val1 at the chosen s1; Eq. (7)
     monotonicity; final ≤ initial expectation) is asserted.
+
+    Single-estimator view of :func:`derandomize_phase_group`.
     """
-    m = estimator.family.m
-    b = estimator.b
+    return derandomize_phase_group([estimator], chunk_size, strict)[0]
+
+
+def derandomize_phase_group(
+    estimators,
+    chunk_size: int = 512,
+    strict: bool = True,
+) -> list:
+    """Derandomize one phase of many instances against one seed sweep.
+
+    Every estimator must share the family parameters ``(a, b)`` and bucket
+    count — the shared-seed fusion contract of the batched solver.  The
+    ``val1[s1]`` conditional-expectation arrays of all estimators are
+    produced by a single chunked enumeration of the 2^m multiplicative
+    seeds (:func:`expected_by_s1_grouped`, the dominant per-phase cost);
+    each instance then fixes its own seed bits independently (segmented
+    argmin over its own conditional expectations), so the returned
+    :class:`SeedChoice` per estimator is identical to a standalone
+    :func:`derandomize_phase` call.
+    """
+    estimators = list(estimators)
+    if not estimators:
+        return []
+    m = estimators[0].family.m
     order = 1 << m
 
-    val1 = np.empty(order, dtype=np.float64)
+    val1 = np.empty((len(estimators), order), dtype=np.float64)
     for start in range(0, order, chunk_size):
         stop = min(order, start + chunk_size)
-        val1[start:stop] = estimator.expected_by_s1(
-            np.arange(start, stop, dtype=np.int64)
+        chunk = expected_by_s1_grouped(
+            estimators, np.arange(start, stop, dtype=np.int64)
         )
-    initial = float(val1.mean())
-    s1, trace1 = fix_bits_greedily(val1)
+        for j, values in enumerate(chunk):
+            val1[j, start:stop] = values
 
-    val2 = estimator.exact_by_sigma(int(s1))
-    if strict and estimator.num_edges:
-        agreement = abs(float(val2.mean()) - float(val1[s1]))
-        tolerance = 1e-9 * max(1.0, abs(float(val1[s1])))
-        if agreement > tolerance:
-            raise AssertionError(
-                f"estimator inconsistency: mean(val2)={val2.mean()} vs "
-                f"val1[s1]={val1[s1]}"
-            )
-    sigma, trace2 = fix_bits_greedily(val2)
-    final = float(val2[sigma])
+    # Fix every instance's s1 bits first (one vectorized greedy descent over
+    # all rows), then evaluate the exact σ arrays for the whole group in one
+    # fused sweep and fix the σ bits the same way.
+    s1s, traces1 = fix_bits_greedily_many(val1)
+    val2s = exact_by_sigma_grouped(estimators, s1s)
+    sigmas, traces2 = fix_bits_greedily_many(np.stack(val2s))
 
-    trace = trace1 + trace2
-    if strict:
-        previous = initial
-        for value in trace:
-            if value > previous + 1e-9 * max(1.0, abs(previous)):
+    choices = []
+    for j, estimator in enumerate(estimators):
+        row = val1[j]
+        initial = float(row.mean())
+        s1, trace1 = int(s1s[j]), traces1[j]
+
+        val2 = val2s[j]
+        if strict and estimator.num_edges:
+            agreement = abs(float(val2.mean()) - float(row[s1]))
+            tolerance = 1e-9 * max(1.0, abs(float(row[s1])))
+            if agreement > tolerance:
                 raise AssertionError(
-                    "Eq. (7) violated: conditional expectation increased"
+                    f"estimator inconsistency: mean(val2)={val2.mean()} vs "
+                    f"val1[s1]={row[s1]}"
                 )
-            previous = value
-        if final > initial + 1e-9 * max(1.0, abs(initial)):
-            raise AssertionError("final potential exceeds its expectation")
+        sigma, trace2 = int(sigmas[j]), traces2[j]
+        final = float(val2[sigma])
 
-    return SeedChoice(
-        s1=int(s1),
-        sigma=int(sigma),
-        s1_bits=m,
-        sigma_bits=b,
-        initial_expectation=initial,
-        final_value=final,
-        conditional_trace=trace,
-    )
+        trace = trace1 + trace2
+        if strict:
+            previous = initial
+            for value in trace:
+                if value > previous + 1e-9 * max(1.0, abs(previous)):
+                    raise AssertionError(
+                        "Eq. (7) violated: conditional expectation increased"
+                    )
+                previous = value
+            if final > initial + 1e-9 * max(1.0, abs(initial)):
+                raise AssertionError("final potential exceeds its expectation")
+
+        choices.append(
+            SeedChoice(
+                s1=int(s1),
+                sigma=int(sigma),
+                s1_bits=m,
+                sigma_bits=estimator.b,
+                initial_expectation=initial,
+                final_value=final,
+                conditional_trace=trace,
+            )
+        )
+    return choices

@@ -25,6 +25,7 @@ import numpy as np
 from repro.graphs.graph import Graph
 
 __all__ = [
+    "BatchedListColoringInstance",
     "ColorListStore",
     "ListColoringInstance",
     "make_delta_plus_one_instance",
@@ -329,6 +330,230 @@ class ListColoringInstance:
             ListColoringInstance(sub, self.color_space, self.lists.subset(original)),
             original,
         )
+
+
+@dataclass
+class BatchedListColoringInstance:
+    """A batch of vertex-disjoint list-coloring instances as one array program.
+
+    Instance ``i`` occupies the contiguous global node range
+    ``[instance_offsets[i], instance_offsets[i+1])`` of a block-diagonal
+    union graph; all color lists live in ONE flat :class:`ColorListStore`
+    over the union nodes, mirroring how ``values``/``offsets`` already make a
+    single instance's ragged lists one array pair.  Because the blocks are
+    disjoint and contiguous, every per-phase operation of the prefix
+    extension (bucket counting, threshold selection, list shrinking) runs on
+    the union arrays unchanged, and per-instance views are plain slices.
+
+    Attributes
+    ----------
+    graph:
+        The union graph; every edge stays within one instance block.
+    instance_offsets:
+        int64 array of length ``k+1``; the node partition.
+    color_spaces:
+        int64 array of length ``k``; instance i's colors live in
+        ``[color_spaces[i]]``.
+    lists:
+        One flat :class:`ColorListStore` over all union nodes.
+    """
+
+    graph: Graph
+    instance_offsets: np.ndarray
+    color_spaces: np.ndarray
+    lists: ColorListStore = field(repr=False)
+    #: Per-instance graphs, cached by :meth:`from_instances` so ``split``
+    #: round-trips without recomputation (rebuilt from edge slices if absent).
+    instance_graphs: list | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.instance_offsets = np.ascontiguousarray(
+            self.instance_offsets, dtype=np.int64
+        )
+        self.color_spaces = np.ascontiguousarray(self.color_spaces, dtype=np.int64)
+        if not isinstance(self.lists, ColorListStore):
+            self.lists = ColorListStore.from_lists(self.lists, self.graph.n)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction / round-trips
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_instances(cls, instances) -> "BatchedListColoringInstance":
+        """Concatenate validated instances into one batch (zero recompute).
+
+        Node ids of instance i are shifted by ``instance_offsets[i]``; each
+        instance's canonical edge arrays land in a contiguous block of the
+        union arrays, so the union stays canonical and goes through the
+        ``Graph.from_arrays`` fast path.
+        """
+        instances = list(instances)
+        k = len(instances)
+        offsets = np.zeros(k + 1, dtype=np.int64)
+        for i, inst in enumerate(instances):
+            offsets[i + 1] = offsets[i] + inst.graph.n
+        total_n = int(offsets[-1])
+        if k:
+            edges_u = np.concatenate(
+                [inst.graph.edges_u + offsets[i] for i, inst in enumerate(instances)]
+            )
+            edges_v = np.concatenate(
+                [inst.graph.edges_v + offsets[i] for i, inst in enumerate(instances)]
+            )
+            values = np.concatenate([inst.lists.values for inst in instances])
+            list_offsets = np.zeros(total_n + 1, dtype=np.int64)
+            pos = 0
+            base = 0
+            for inst in instances:
+                n_i = inst.graph.n
+                list_offsets[pos + 1:pos + n_i + 1] = inst.lists.offsets[1:] + base
+                base += inst.lists.total
+                pos += n_i
+        else:
+            edges_u = np.empty(0, dtype=np.int64)
+            edges_v = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=np.int64)
+            list_offsets = np.zeros(1, dtype=np.int64)
+        return cls(
+            graph=Graph.from_arrays(total_n, edges_u, edges_v),
+            instance_offsets=offsets,
+            color_spaces=np.array(
+                [inst.color_space for inst in instances], dtype=np.int64
+            ),
+            lists=ColorListStore(values, list_offsets),
+            instance_graphs=[inst.graph for inst in instances],
+        )
+
+    def split(self) -> list:
+        """Per-instance :class:`ListColoringInstance` views (the inverse of
+        :meth:`from_instances`: graphs, color spaces and lists round-trip
+        exactly)."""
+        return [
+            ListColoringInstance(
+                self.instance_graph(i),
+                int(self.color_spaces[i]),
+                self.instance_lists(i),
+            )
+            for i in range(self.num_instances)
+        ]
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_instances(self) -> int:
+        return len(self.instance_offsets) - 1
+
+    @property
+    def n(self) -> int:
+        """Total union node count."""
+        return self.graph.n
+
+    @property
+    def instance_sizes(self) -> np.ndarray:
+        return np.diff(self.instance_offsets)
+
+    def instance_slice(self, i: int) -> slice:
+        return slice(int(self.instance_offsets[i]), int(self.instance_offsets[i + 1]))
+
+    def node_instance_ids(self) -> np.ndarray:
+        """Owning instance of every union node (the instance-aware key)."""
+        return np.repeat(
+            np.arange(self.num_instances, dtype=np.int64), self.instance_sizes
+        )
+
+    def edge_instance_ids(self) -> np.ndarray:
+        """Owning instance of every union edge (edges never cross blocks)."""
+        return (
+            np.searchsorted(self.instance_offsets, self.graph.edges_u, side="right")
+            - 1
+        )
+
+    def instance_graph(self, i: int) -> Graph:
+        """Instance i's graph with local ids 0..n_i-1."""
+        if self.instance_graphs is not None:
+            return self.instance_graphs[i]
+        lo, hi = int(self.instance_offsets[i]), int(self.instance_offsets[i + 1])
+        start = np.searchsorted(self.graph.edges_u, lo, side="left")
+        stop = np.searchsorted(self.graph.edges_u, hi, side="left")
+        return Graph.from_arrays(
+            hi - lo,
+            self.graph.edges_u[start:stop] - lo,
+            self.graph.edges_v[start:stop] - lo,
+        )
+
+    def instance_lists(self, i: int) -> ColorListStore:
+        """Instance i's color lists as a standalone CSR slice."""
+        lo, hi = int(self.instance_offsets[i]), int(self.instance_offsets[i + 1])
+        vlo, vhi = int(self.lists.offsets[lo]), int(self.lists.offsets[hi])
+        return ColorListStore(
+            self.lists.values[vlo:vhi].copy(),
+            self.lists.offsets[lo:hi + 1] - vlo,
+        )
+
+    def copy_lists(self) -> ColorListStore:
+        return self.lists.copy()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the batch is well-formed."""
+        offs = self.instance_offsets
+        if len(offs) < 1 or offs[0] != 0:
+            raise ValueError("instance_offsets must start at 0")
+        if (np.diff(offs) < 0).any():
+            raise ValueError("instance_offsets must be non-decreasing")
+        if int(offs[-1]) != self.graph.n:
+            raise ValueError(
+                f"instance_offsets cover {int(offs[-1])} nodes, "
+                f"graph has {self.graph.n}"
+            )
+        if len(self.color_spaces) != self.num_instances:
+            raise ValueError(
+                f"expected {self.num_instances} color spaces, "
+                f"got {len(self.color_spaces)}"
+            )
+        if self.lists.n != self.graph.n:
+            raise ValueError(
+                f"expected {self.graph.n} color lists, got {self.lists.n}"
+            )
+        if (self.color_spaces < 1).any():
+            raise ValueError("every color space must be >= 1")
+        if self.graph.m:
+            edge_inst = self.edge_instance_ids()
+            inst_v = (
+                np.searchsorted(offs, self.graph.edges_v, side="right") - 1
+            )
+            cross = edge_inst != inst_v
+            if cross.any():
+                e = int(np.argmax(cross))
+                raise ValueError(
+                    f"edge ({int(self.graph.edges_u[e])}, "
+                    f"{int(self.graph.edges_v[e])}) crosses instance blocks"
+                )
+        if self.graph.n == 0:
+            return
+        self.lists.validate_segments_sorted()
+        sizes = self.lists.sizes
+        short = sizes < self.graph.degrees + 1
+        if short.any():
+            v = int(np.argmax(short))
+            raise ValueError(
+                f"node {v}: list size {int(sizes[v])} < deg+1 = "
+                f"{self.graph.degree(v) + 1}"
+            )
+        # Segment bounds against the owning instance's color space.
+        nonempty = sizes > 0
+        if nonempty.any():
+            values, offsets = self.lists.values, self.lists.offsets
+            lo = values[offsets[:-1][nonempty]]
+            hi = values[offsets[1:][nonempty] - 1]
+            space = self.color_spaces[self.node_instance_ids()[nonempty]]
+            bad = (lo < 0) | (hi >= space)
+            if bad.any():
+                v = int(np.flatnonzero(nonempty)[np.argmax(bad)])
+                raise ValueError(
+                    f"node {v}: colors outside the instance color space"
+                )
 
 
 def make_delta_plus_one_instance(graph: Graph) -> ListColoringInstance:

@@ -14,6 +14,14 @@ The solver:
 Every communication charge mirrors the paper's accounting; the returned
 :class:`ColoringResult` carries the ledger, per-pass statistics and the
 potential traces used by the T1/T2/T3 experiments.
+
+:func:`solve_list_coloring_batch` runs the whole Theorem 1.1 loop over every
+instance of a :class:`BatchedListColoringInstance` at once: per-pass
+residual sub-instances are re-batched and solved through the shared-seed
+fused prefix engine, color lists live in one flat CSR store pruned by a
+single batched deletion per pass, and per-instance round ledgers / pass
+statistics are recovered from the batch trace — identical to running the
+instances sequentially.
 """
 
 from __future__ import annotations
@@ -23,14 +31,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.instances import ListColoringInstance
+from repro.core.instances import BatchedListColoringInstance, ListColoringInstance
 from repro.core.list_ops import prune_lists_after_coloring
-from repro.core.partial_coloring import partial_coloring_pass
+from repro.core.partial_coloring import partial_coloring_pass_batch
 from repro.core.validation import verify_proper_list_coloring
 from repro.engine.rounds import RoundLedger
-from repro.substrates.linial import linial_coloring
+from repro.substrates.linial import LinialResult, linial_coloring
 
-__all__ = ["ColoringResult", "PassStats", "solve_list_coloring_congest"]
+__all__ = [
+    "BatchColoringResult",
+    "ColoringResult",
+    "PassStats",
+    "solve_list_coloring_batch",
+    "solve_list_coloring_congest",
+]
 
 
 @dataclass
@@ -61,6 +75,27 @@ class ColoringResult:
         return len(self.passes)
 
 
+@dataclass
+class BatchColoringResult:
+    """Per-instance :class:`ColoringResult` list of one batched solve."""
+
+    results: list = field(default_factory=list)
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.results)
+
+    @property
+    def colors(self) -> np.ndarray:
+        """Concatenated colors in union node order."""
+        if not self.results:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([r.colors for r in self.results])
+
+    def rounds_totals(self) -> list[int]:
+        return [r.rounds.total for r in self.results]
+
+
 def solve_list_coloring_congest(
     instance: ListColoringInstance,
     r_schedule=None,
@@ -77,89 +112,187 @@ def solve_list_coloring_congest(
     this solver on clusters whose communication happens over a Steiner tree
     of depth β in the *original* graph).  ``input_coloring`` likewise allows
     reusing an externally computed K-coloring instead of running Linial.
+
+    Single-instance view of :func:`solve_list_coloring_batch`.
     """
-    graph = instance.graph
-    n = graph.n
-    ledger = RoundLedger()
-    colors = np.full(n, -1, dtype=np.int64)
-    if n == 0:
-        return ColoringResult(colors=colors, rounds=ledger)
+    batch = BatchedListColoringInstance.from_instances([instance])
+    result = solve_list_coloring_batch(
+        batch,
+        r_schedule=r_schedule,
+        strict=strict,
+        rng=rng,
+        verify=verify,
+        comm_depths=None if comm_depth is None else [comm_depth],
+        input_colorings=None if input_coloring is None else [input_coloring],
+        nums_input_colors=(
+            None if num_input_colors is None else [num_input_colors]
+        ),
+    )
+    return result.results[0]
 
-    # Step 1: Linial input coloring from node ids (K = O(Δ²)).
-    if input_coloring is None:
-        linial = linial_coloring(graph)
-        ledger.charge("linial", max(1, linial.iterations))
-    else:
-        from repro.substrates.linial import LinialResult
 
-        if num_input_colors is None:
-            num_input_colors = int(np.max(input_coloring, initial=0)) + 1
-        linial = LinialResult(
-            colors=np.asarray(input_coloring, dtype=np.int64),
-            num_colors=num_input_colors,
-            iterations=0,
+def solve_list_coloring_batch(
+    batch: BatchedListColoringInstance,
+    r_schedule=None,
+    strict: bool = True,
+    rng: np.random.Generator | None = None,
+    verify: bool = True,
+    comm_depths=None,
+    input_colorings=None,
+    nums_input_colors=None,
+) -> BatchColoringResult:
+    """Solve every instance of ``batch`` through one Theorem 1.1 loop.
+
+    ``comm_depths``, ``input_colorings`` and ``nums_input_colors`` are
+    per-instance sequences (or None for the per-instance defaults: BFS-tree
+    depth and Linial's coloring).  Each returned :class:`ColoringResult` —
+    colors, round ledger, pass statistics and potential traces — is
+    identical to a sequential :func:`solve_list_coloring_congest` call on
+    that instance; the batching amortizes the per-phase seed enumerations
+    across instances that share a seed space (see
+    :func:`~repro.core.derandomize.derandomize_phase_group`).
+    """
+    k = batch.num_instances
+    if k == 0:
+        return BatchColoringResult()
+    instances = batch.split()
+    offs = batch.instance_offsets
+    slices = [batch.instance_slice(i) for i in range(k)]
+    colors = np.full(batch.n, -1, dtype=np.int64)
+    lists = batch.copy_lists()
+
+    results: list[ColoringResult] = []
+    linials: list[LinialResult | None] = []
+    depths: list[int] = []
+    for i, inst in enumerate(instances):
+        ledger = RoundLedger()
+        g = inst.graph
+        if g.n == 0:
+            results.append(
+                ColoringResult(colors=np.full(0, -1, dtype=np.int64), rounds=ledger)
+            )
+            linials.append(None)
+            depths.append(0)
+            continue
+
+        # Step 1: Linial input coloring from node ids (K = O(Δ²)).
+        given = None if input_colorings is None else input_colorings[i]
+        if given is None:
+            linial = linial_coloring(g)
+            ledger.charge("linial", max(1, linial.iterations))
+        else:
+            size = None if nums_input_colors is None else nums_input_colors[i]
+            if size is None:
+                size = int(np.max(given, initial=0)) + 1
+            linial = LinialResult(
+                colors=np.asarray(given, dtype=np.int64),
+                num_colors=int(size),
+                iterations=0,
+            )
+
+        # Step 2: BFS tree depth per component — the aggregation cost unit.
+        depth = None if comm_depths is None else comm_depths[i]
+        if depth is None:
+            depth = 0
+            for component in g.connected_components():
+                root = int(component[0])
+                _, levels = g.bfs_tree(root)
+                depth = max(depth, int(levels.max(initial=0)))
+            ledger.charge("bfs_tree", max(1, depth))
+
+        linials.append(linial)
+        depths.append(int(depth))
+        results.append(
+            ColoringResult(
+                colors=colors[slices[i]],
+                rounds=ledger,
+                input_coloring_size=linial.num_colors,
+                linial_iterations=linial.iterations,
+                comm_depth=int(depth),
+            )
         )
 
-    # Step 2: BFS tree depth per component — the aggregation cost unit.
-    if comm_depth is None:
-        comm_depth = 0
-        for component in graph.connected_components():
-            root = int(component[0])
-            _, depth = graph.bfs_tree(root)
-            comm_depth = max(comm_depth, int(depth.max(initial=0)))
-        ledger.charge("bfs_tree", max(1, comm_depth))
+    max_passes = [
+        max(1, math.ceil(math.log(max(2, inst.graph.n)) / math.log(8 / 7)) + 2)
+        for inst in instances
+    ]
+    # Concatenated input colorings, union-node indexed, for one-gather ψ
+    # restriction per pass.
+    psi_global = np.zeros(batch.n, dtype=np.int64)
+    for i in range(k):
+        if linials[i] is not None:
+            psi_global[slices[i]] = linials[i].colors
 
-    lists = instance.copy_lists()
-    result = ColoringResult(
-        colors=colors,
-        rounds=ledger,
-        input_coloring_size=linial.num_colors,
-        linial_iterations=linial.iterations,
-        comm_depth=comm_depth,
-    )
-
-    max_passes = max(1, math.ceil(math.log(max(2, n)) / math.log(8 / 7)) + 2)
-    passes = 0
+    passes = [0] * k
     while True:
         active = np.flatnonzero(colors == -1)
         if len(active) == 0:
             break
-        passes += 1
-        if passes > max_passes and rng is None:
-            raise AssertionError(
-                f"exceeded the O(log n) pass bound: {passes} > {max_passes}"
-            )
-
-        sub_graph, original = graph.induced_subgraph(active)
-        sub_instance = ListColoringInstance(
-            sub_graph, instance.color_space, lists.subset(original)
+        active_counts = np.bincount(
+            np.searchsorted(offs, active, side="right") - 1, minlength=k
         )
-        outcome = partial_coloring_pass(
-            sub_instance,
-            linial.colors[original],
-            linial.num_colors,
-            comm_depth=comm_depth,
-            ledger=ledger,
+        live = [i for i in range(k) if active_counts[i]]
+        for i in live:
+            passes[i] += 1
+            if passes[i] > max_passes[i] and rng is None:
+                raise AssertionError(
+                    f"exceeded the O(log n) pass bound: "
+                    f"{passes[i]} > {max_passes[i]}"
+                )
+
+        # The residual sub-batch in ONE union slice: the active set stays
+        # sorted, so instance blocks stay contiguous and one induced
+        # subgraph + one CSR subset replace the per-instance constructions
+        # (each instance's block is exactly its own residual sub-instance).
+        sub_graph, original = batch.graph.induced_subgraph(active)
+        sub_offsets = np.zeros(len(live) + 1, dtype=np.int64)
+        np.cumsum(active_counts[live], out=sub_offsets[1:])
+        sub_batch = BatchedListColoringInstance(
+            sub_graph,
+            sub_offsets,
+            batch.color_spaces[live],
+            lists.subset(original),
+        )
+        outcomes = partial_coloring_pass_batch(
+            sub_batch,
+            psi_global[original],
+            [linials[i].num_colors for i in live],
+            comm_depths=[depths[i] for i in live],
+            ledgers=[results[i].rounds for i in live],
             r_schedule=r_schedule,
             strict=strict,
             rng=rng,
         )
-        newly = np.flatnonzero(outcome.colors != -1)
-        colors[original[newly]] = outcome.colors[newly]
-        prune_lists_after_coloring(graph, lists, colors, original[newly])
-        ledger.charge("list_update", 1)
 
-        result.passes.append(
-            PassStats(
-                active_before=len(active),
-                colored=int(outcome.colored_count),
-                fraction=float(outcome.fraction),
-                potential_trace=outcome.prefix.potential_trace,
-                seed_bits=outcome.prefix.total_seed_bits,
-                phases=len(outcome.prefix.phases),
+        newly_global = []
+        for j, (i, outcome) in enumerate(zip(live, outcomes)):
+            block = original[sub_offsets[j]:sub_offsets[j + 1]]
+            newly = np.flatnonzero(outcome.colors != -1)
+            global_ids = block[newly]
+            colors[global_ids] = outcome.colors[newly]
+            newly_global.append(global_ids)
+            results[i].passes.append(
+                PassStats(
+                    active_before=len(block),
+                    colored=int(outcome.colored_count),
+                    fraction=float(outcome.fraction),
+                    potential_trace=outcome.prefix.potential_trace,
+                    seed_bits=outcome.prefix.total_seed_bits,
+                    phases=len(outcome.prefix.phases),
+                )
             )
-        )
 
-    if verify:
-        verify_proper_list_coloring(instance, colors)
-    return result
+        # One batched CSR deletion prunes every instance's lists at once
+        # (instances are vertex-disjoint, so this matches the sequential
+        # per-instance updates exactly).
+        prune_lists_after_coloring(
+            batch.graph, lists, colors, np.concatenate(newly_global)
+        )
+        for i in live:
+            results[i].rounds.charge("list_update", 1)
+
+    for i in range(k):
+        results[i].colors = colors[slices[i]].copy()
+        if verify and instances[i].graph.n:
+            verify_proper_list_coloring(instances[i], results[i].colors)
+    return BatchColoringResult(results=results)

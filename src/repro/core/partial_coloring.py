@@ -13,6 +13,12 @@ nodes:
   at least half the nodes then have at most one conflict and the higher id
   of each conflicting pair wins, a 1-round MIS.  At least a 1/4 fraction is
   colored.
+
+:func:`partial_coloring_pass_batch` runs the pass over every instance of a
+:class:`BatchedListColoringInstance` simultaneously: the prefix extension is
+the batched engine of :mod:`repro.core.prefix` (shared-seed phase fusion),
+while the cheap id-sensitive endgame (eligibility, MIS, round charges) stays
+per instance so each outcome is identical to a standalone pass.
 """
 
 from __future__ import annotations
@@ -21,13 +27,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.instances import ListColoringInstance, ceil_log2
-from repro.core.prefix import PrefixResult, extend_prefixes
+from repro.core.instances import BatchedListColoringInstance, ListColoringInstance
+from repro.core.prefix import PrefixResult, extend_prefixes_batch
 from repro.engine.rounds import RoundLedger
 from repro.graphs.graph import Graph
 from repro.substrates.mis import mis_bounded_degree
 
-__all__ = ["PartialColoringOutcome", "partial_coloring_pass"]
+__all__ = [
+    "PartialColoringOutcome",
+    "partial_coloring_pass",
+    "partial_coloring_pass_batch",
+]
 
 
 @dataclass
@@ -67,6 +77,22 @@ def _charge_congest_rounds(
     ledger.charge("mis", mis_rounds)
 
 
+def _empty_outcome() -> PartialColoringOutcome:
+    return PartialColoringOutcome(
+        np.full(0, -1, dtype=np.int64),
+        0,
+        0.0,
+        PrefixResult(
+            candidates=np.empty(0, dtype=np.int64),
+            conflict_degrees=np.empty(0, dtype=np.int64),
+            conflict_edges_u=np.empty(0, dtype=np.int64),
+            conflict_edges_v=np.empty(0, dtype=np.int64),
+        ),
+        0,
+        0,
+    )
+
+
 def partial_coloring_pass(
     instance: ListColoringInstance,
     psi: np.ndarray,
@@ -78,81 +104,151 @@ def partial_coloring_pass(
     strict: bool = True,
     rng: np.random.Generator | None = None,
 ) -> PartialColoringOutcome:
-    """Color at least 1/8 of the nodes of ``instance`` (Lemma 2.1)."""
-    graph = instance.graph
-    n = graph.n
-    colors = np.full(n, -1, dtype=np.int64)
-    if n == 0:
-        return PartialColoringOutcome(colors, 0, 0.0, PrefixResult(
-            candidates=np.empty(0, dtype=np.int64),
-            conflict_degrees=np.empty(0, dtype=np.int64),
-            conflict_edges_u=np.empty(0, dtype=np.int64),
-            conflict_edges_v=np.empty(0, dtype=np.int64),
-        ), 0, 0)
+    """Color at least 1/8 of the nodes of ``instance`` (Lemma 2.1).
 
-    strengthen = graph.max_degree + 1 if avoid_mis else 1
-    prefix = extend_prefixes(
-        instance,
+    Single-instance view of :func:`partial_coloring_pass_batch`.
+    """
+    batch = BatchedListColoringInstance.from_instances([instance])
+    return partial_coloring_pass_batch(
+        batch,
         psi,
-        num_input_colors,
+        [num_input_colors],
+        comm_depths=[comm_depth],
+        ledgers=[ledger],
         r_schedule=r_schedule,
-        strengthen=strengthen,
+        avoid_mis=avoid_mis,
         strict=strict,
         rng=rng,
-    )
+    )[0]
 
-    threshold = 1 if avoid_mis else 3
-    eligible = prefix.conflict_degrees <= threshold
-    eligible_ids = np.flatnonzero(eligible)
 
-    # Conflict subgraph restricted to eligible nodes.
-    if len(prefix.conflict_edges_u):
-        keep = eligible[prefix.conflict_edges_u] & eligible[prefix.conflict_edges_v]
-        sub_u = prefix.conflict_edges_u[keep]
-        sub_v = prefix.conflict_edges_v[keep]
-    else:
-        sub_u = sub_v = np.empty(0, dtype=np.int64)
+def partial_coloring_pass_batch(
+    batch: BatchedListColoringInstance,
+    psis: np.ndarray,
+    nums_input_colors,
+    comm_depths=None,
+    ledgers=None,
+    r_schedule=None,
+    avoid_mis: bool = False,
+    strict: bool = True,
+    rng: np.random.Generator | None = None,
+) -> list[PartialColoringOutcome]:
+    """One Lemma 2.1 pass on every instance of ``batch`` at once.
 
-    remap = np.full(n, -1, dtype=np.int64)
-    remap[eligible_ids] = np.arange(len(eligible_ids))
-    sub_u = remap[sub_u]
-    sub_v = remap[sub_v]
+    ``psis`` is the concatenated per-instance input colorings (union node
+    indexed); ``nums_input_colors``, ``comm_depths`` and ``ledgers`` are
+    per-instance.  Returns one outcome per instance, each identical to a
+    standalone :func:`partial_coloring_pass` on that instance.
+    """
+    k = batch.num_instances
+    if k == 0:
+        return []
+    if comm_depths is None:
+        comm_depths = [1] * k
+    if ledgers is None:
+        ledgers = [None] * k
+    psis = np.asarray(psis, dtype=np.int64)
+    sizes_n = batch.instance_sizes
 
-    if avoid_mis:
-        # Conflict degree ≤ 1: the higher id of each conflicting pair joins;
-        # isolated eligible nodes join.  One CONGEST round.
-        members = np.ones(len(eligible_ids), dtype=bool)
-        members[np.minimum(sub_u, sub_v)] = False
-        mis_rounds = 1
-    else:
-        conflict_sub = Graph(
-            len(eligible_ids), np.stack([sub_u, sub_v], axis=1)
+    outcomes: dict[int, PartialColoringOutcome] = {}
+    nonempty = [i for i in range(k) if sizes_n[i] > 0]
+    for i in range(k):
+        if sizes_n[i] == 0:
+            outcomes[i] = _empty_outcome()
+
+    if nonempty:
+        if len(nonempty) == k:
+            sub_batch = batch
+            psis_sub = psis
+        else:
+            views = batch.split()
+            sub_batch = BatchedListColoringInstance.from_instances(
+                [views[i] for i in nonempty]
+            )
+            psis_sub = np.concatenate(
+                [psis[batch.instance_slice(i)] for i in nonempty]
+            )
+        deltas = [
+            int(batch.graph.degrees[batch.instance_slice(i)].max())
+            for i in nonempty
+        ]
+        strengthens = [
+            delta + 1 if avoid_mis else 1 for delta in deltas
+        ]
+        prefixes = extend_prefixes_batch(
+            sub_batch,
+            psis_sub,
+            [nums_input_colors[i] for i in nonempty],
+            r_schedule=r_schedule,
+            strengthens=strengthens,
+            strict=strict,
+            rng=rng,
         )
-        mis = mis_bounded_degree(
-            conflict_sub, psi[eligible_ids], num_input_colors
-        )
-        members = mis.members
-        mis_rounds = mis.rounds
 
-    winners = eligible_ids[members]
-    colors[winners] = prefix.candidates[winners]
-    colored = len(winners)
+        threshold = 1 if avoid_mis else 3
+        for i, prefix in zip(nonempty, prefixes):
+            n = int(sizes_n[i])
+            psi = psis[batch.instance_slice(i)]
+            colors = np.full(n, -1, dtype=np.int64)
 
-    if strict and rng is None:
-        # Deterministic guarantee only; the randomized variant achieves the
-        # bound in expectation (Lemmas 2.2/2.3), not per run.
-        required = n / 8.0
-        if colored < required - 1e-9:
-            raise AssertionError(
-                f"Lemma 2.1 violated: colored {colored} < n/8 = {n / 8}"
+            eligible = prefix.conflict_degrees <= threshold
+            eligible_ids = np.flatnonzero(eligible)
+
+            # Conflict subgraph restricted to eligible nodes.
+            if len(prefix.conflict_edges_u):
+                keep = (
+                    eligible[prefix.conflict_edges_u]
+                    & eligible[prefix.conflict_edges_v]
+                )
+                sub_u = prefix.conflict_edges_u[keep]
+                sub_v = prefix.conflict_edges_v[keep]
+            else:
+                sub_u = sub_v = np.empty(0, dtype=np.int64)
+
+            remap = np.full(n, -1, dtype=np.int64)
+            remap[eligible_ids] = np.arange(len(eligible_ids))
+            sub_u = remap[sub_u]
+            sub_v = remap[sub_v]
+
+            if avoid_mis:
+                # Conflict degree ≤ 1: the higher id of each conflicting
+                # pair joins; isolated eligible nodes join.  One CONGEST
+                # round.
+                members = np.ones(len(eligible_ids), dtype=bool)
+                members[np.minimum(sub_u, sub_v)] = False
+                mis_rounds = 1
+            else:
+                conflict_sub = Graph(
+                    len(eligible_ids), np.stack([sub_u, sub_v], axis=1)
+                )
+                mis = mis_bounded_degree(
+                    conflict_sub, psi[eligible_ids], int(nums_input_colors[i])
+                )
+                members = mis.members
+                mis_rounds = mis.rounds
+
+            winners = eligible_ids[members]
+            colors[winners] = prefix.candidates[winners]
+            colored = len(winners)
+
+            if strict and rng is None:
+                # Deterministic guarantee only; the randomized variant
+                # achieves the bound in expectation (Lemmas 2.2/2.3), not
+                # per run.
+                required = n / 8.0
+                if colored < required - 1e-9:
+                    raise AssertionError(
+                        f"Lemma 2.1 violated: colored {colored} < n/8 = {n / 8}"
+                    )
+
+            _charge_congest_rounds(ledgers[i], prefix, comm_depths[i], mis_rounds)
+            outcomes[i] = PartialColoringOutcome(
+                colors=colors,
+                colored_count=colored,
+                fraction=colored / n,
+                prefix=prefix,
+                mis_rounds=mis_rounds,
+                eligible_count=int(eligible.sum()),
             )
 
-    _charge_congest_rounds(ledger, prefix, comm_depth, mis_rounds)
-    return PartialColoringOutcome(
-        colors=colors,
-        colored_count=colored,
-        fraction=colored / n,
-        prefix=prefix,
-        mis_rounds=mis_rounds,
-        eligible_count=int(eligible.sum()),
-    )
+    return [outcomes[i] for i in range(k)]

@@ -34,7 +34,19 @@ from repro.core.counting import count_xor_below, count_xor_in_intervals
 from repro.hashing.coins import bucket_thresholds
 from repro.hashing.pairwise import PairwiseFamily
 
-__all__ = ["PhaseEstimator", "potential_sum", "accuracy_bits"]
+#: Entry budget of one σ-summation block.  The fused grouped σ sweep is
+#: bit-identical to the per-estimator method only because both sum a
+#: member's edges in one block of this same size — keep them coupled.
+_SIGMA_CHUNK_ENTRIES = 1 << 22
+
+__all__ = [
+    "PhaseEstimator",
+    "buckets_for_seed_grouped",
+    "exact_by_sigma_grouped",
+    "expected_by_s1_grouped",
+    "potential_sum",
+    "accuracy_bits",
+]
 
 
 def potential_sum(conflict_degrees: np.ndarray, list_sizes: np.ndarray) -> float:
@@ -70,6 +82,228 @@ def accuracy_bits(
     return max(1, math.ceil(math.log2(need)) + 1)
 
 
+def expected_by_s1_grouped(estimators, s1_candidates: np.ndarray) -> list:
+    """``E[Σ_e X_e | s1]`` per estimator, with the seed sweep fused.
+
+    This is the shared-seed phase fusion of the batched solver: all
+    estimators must share the family parameters ``(a, b)`` and the bucket
+    count (i.e. they evaluate the same seed space), but may carry different
+    conflict graphs and input colorings ψ.  The dominant
+    (candidates × edges) work — the GF(2^m) multiply of ``g_values_many``
+    and the counting DP — runs ONCE over the concatenated edge arrays of
+    all estimators; per-estimator expectations are recovered by summing
+    each estimator's contiguous column segment.  Every per-edge operation
+    is elementwise and each segment sum reduces the same contiguous values,
+    so the result is numerically identical to calling
+    :meth:`PhaseEstimator.expected_by_s1` per estimator.
+
+    Returns a list of float64 arrays, one per estimator, each of length
+    ``len(s1_candidates)``.
+    """
+    estimators = list(estimators)
+    if not estimators:
+        return []
+    s1_candidates = np.asarray(s1_candidates, dtype=np.int64)
+    first = estimators[0]
+    _check_group(estimators)
+    live = [est for est in estimators if est.num_edges]
+    zeros = lambda: np.zeros(len(s1_candidates), dtype=np.float64)
+    if not live:
+        return [zeros() for _ in estimators]
+
+    bounds = np.zeros(len(live) + 1, dtype=np.int64)
+    np.cumsum([est.num_edges for est in live], out=bounds[1:])
+    b = first.b
+    # d_e(s1) = top_b(s1 ⊙ (ψ(u) ⊕ ψ(v))), shape (candidates, total edges).
+    d = first.family.g_values_many(
+        s1_candidates, np.concatenate([est.psi_diff for est in live])
+    )
+    if first.num_buckets == 2:
+        # r = 1 fast path: one counting-DP call per (candidate, edge).
+        # Bucket 0 occupies [0, t) and bucket 1 occupies [t, 2^b); by
+        # inclusion-exclusion, #{both in bucket 1} = 2^b - t_u - t_v +
+        # #{both in bucket 0}.
+        pairs = [est._edge_thresholds(1) for est in live]
+        t_u = np.concatenate([p[0] for p in pairs])[None, :]
+        t_v = np.concatenate([p[1] for p in pairs])[None, :]
+        n_both0 = count_xor_below(d, t_u, t_v, b)
+        n_both1 = first.scale - t_u - t_v + n_both0
+        w0 = np.concatenate([est.edge_weight(0) for est in live])[None, :]
+        w1 = np.concatenate([est.edge_weight(1) for est in live])[None, :]
+        total = n_both0.astype(np.float64) * w0 + n_both1.astype(np.float64) * w1
+    else:
+        total = np.zeros(d.shape, dtype=np.float64)
+        for w in range(first.num_buckets):
+            lo_pairs = [est._edge_thresholds(w) for est in live]
+            hi_pairs = [est._edge_thresholds(w + 1) for est in live]
+            lo_u = np.concatenate([p[0] for p in lo_pairs])
+            hi_u = np.concatenate([p[0] for p in hi_pairs])
+            lo_v = np.concatenate([p[1] for p in lo_pairs])
+            hi_v = np.concatenate([p[1] for p in hi_pairs])
+            alive = (hi_u > lo_u) & (hi_v > lo_v)
+            if not alive.any():
+                continue
+            cnt = count_xor_in_intervals(
+                d[:, alive],
+                lo_u[alive][None, :],
+                hi_u[alive][None, :],
+                lo_v[alive][None, :],
+                hi_v[alive][None, :],
+                b,
+            )
+            weight = np.concatenate([est.edge_weight(w) for est in live])
+            total[:, alive] += cnt.astype(np.float64) * weight[alive][None, :]
+
+    out = []
+    j = 0
+    for est in estimators:
+        if est.num_edges == 0:
+            out.append(zeros())
+        else:
+            lo, hi = int(bounds[j]), int(bounds[j + 1])
+            out.append(total[:, lo:hi].sum(axis=1) / float(first.scale))
+            j += 1
+    return out
+
+
+def _check_group(estimators) -> tuple:
+    first = estimators[0]
+    key = (first.family.a, first.family.b, first.num_buckets)
+    for est in estimators[1:]:
+        if (est.family.a, est.family.b, est.num_buckets) != key:
+            raise ValueError(
+                "grouped estimators must share (a, b, num_buckets); got "
+                f"{(est.family.a, est.family.b, est.num_buckets)} vs {key}"
+            )
+    return key
+
+
+def exact_by_sigma_grouped(estimators, s1_values) -> list:
+    """Per estimator, exact Σ_e X_e for every σ given its own s1 — fused.
+
+    The per-node hash evaluation (one GF(2^m) multiply with a per-node s1),
+    the (nodes × 2^b) bucket matrix and the per-edge contributions are
+    computed once over the concatenated node/edge arrays of the group;
+    per-estimator totals are per-instance row-segment sums.  Numerically
+    identical to calling :meth:`PhaseEstimator.exact_by_sigma` per
+    estimator.  Members whose edge count exceeds the sequential summation
+    chunk fall back to their own method (different chunk boundaries would
+    reorder float additions); memory is bounded by processing the group in
+    sub-batches.
+    """
+    estimators = list(estimators)
+    if not estimators:
+        return []
+    _check_group(estimators)
+    first = estimators[0]
+    scale = int(first.scale)
+    chunk = max(1, _SIGMA_CHUNK_ENTRIES // scale)
+
+    out: list = [None] * len(estimators)
+    fusable = []
+    for j, est in enumerate(estimators):
+        if est.num_edges == 0:
+            out[j] = np.zeros(scale, dtype=np.float64)
+        elif est.num_edges > chunk:
+            out[j] = est.exact_by_sigma(int(s1_values[j]))
+        else:
+            fusable.append(j)
+
+    # Sub-batch so the (rows × 2^b) work arrays stay bounded.
+    budget = max(scale, 1 << 23)
+    start = 0
+    while start < len(fusable):
+        stop = start
+        rows = 0
+        while stop < len(fusable):
+            j = fusable[stop]
+            need = len(estimators[j].psi) + estimators[j].num_edges
+            if stop > start and (rows + need) * scale > budget:
+                break
+            rows += need
+            stop += 1
+        members = [estimators[j] for j in fusable[start:stop]]
+
+        sizes = np.array([len(est.psi) for est in members], dtype=np.int64)
+        node_offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=node_offsets[1:])
+        psi = np.concatenate([est.psi for est in members])
+        s1_node = np.repeat(
+            np.array(
+                [int(s1_values[j]) for j in fusable[start:stop]],
+                dtype=np.int64,
+            ),
+            sizes,
+        )
+        g = first.family.field.mul_vec(s1_node, psi) >> (
+            first.family.m - first.b
+        )
+        sigmas = np.arange(scale, dtype=np.int64)
+        y = g[:, None] ^ sigmas[None, :]
+        thresholds = np.concatenate([est.thresholds for est in members])
+        buckets = np.zeros((len(psi), scale), dtype=np.int64)
+        for w in range(1, first.num_buckets):
+            buckets += thresholds[:, w, None] <= y
+        np.clip(buckets, 0, first.num_buckets - 1, out=buckets)
+        inv = np.concatenate([est._inv_counts for est in members])
+        inv_sel = inv[np.arange(len(psi))[:, None], buckets]
+
+        eu = np.concatenate(
+            [est.edges_u + node_offsets[i] for i, est in enumerate(members)]
+        )
+        ev = np.concatenate(
+            [est.edges_v + node_offsets[i] for i, est in enumerate(members)]
+        )
+        same = buckets[eu] == buckets[ev]
+        contrib = np.where(same, inv_sel[eu] + inv_sel[ev], 0.0)
+        edge_offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        np.cumsum([est.num_edges for est in members], out=edge_offsets[1:])
+        for i, j in enumerate(fusable[start:stop]):
+            lo, hi = int(edge_offsets[i]), int(edge_offsets[i + 1])
+            out[j] = contrib[lo:hi].sum(axis=0)
+        start = stop
+    return out
+
+
+def buckets_for_seed_grouped(estimators, seeds) -> list:
+    """Per estimator, the bucket chosen by each node under its own seed.
+
+    One GF multiply with per-node ``s1`` and one broadcast threshold
+    comparison over the concatenated nodes replace the per-estimator calls;
+    identical to :meth:`PhaseEstimator.buckets_for_seed` per estimator.
+    """
+    estimators = list(estimators)
+    if not estimators:
+        return []
+    _check_group(estimators)
+    first = estimators[0]
+    sizes = np.array([len(est.psi) for est in estimators], dtype=np.int64)
+    psi = np.concatenate([est.psi for est in estimators])
+    s1_node = np.repeat(
+        np.array([int(seed[0]) for seed in seeds], dtype=np.int64), sizes
+    )
+    sigma_node = np.repeat(
+        np.array([int(seed[1]) for seed in seeds], dtype=np.int64), sizes
+    )
+    g = first.family.field.mul_vec(s1_node, psi) >> (first.family.m - first.b)
+    y = g ^ sigma_node
+    thresholds = np.concatenate([est.thresholds for est in estimators])
+    buckets = (thresholds[:, 1:] <= y[:, None]).sum(axis=1, dtype=np.int64)
+    np.clip(buckets, 0, first.num_buckets - 1, out=buckets)
+    counts = np.concatenate([est.counts for est in estimators])
+    chosen = counts[np.arange(len(psi)), buckets]
+    if (chosen <= 0).any():
+        raise AssertionError(
+            "selected an empty bucket: threshold construction is broken"
+        )
+    offsets = np.zeros(len(estimators) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return [
+        buckets[int(offsets[i]):int(offsets[i + 1])]
+        for i in range(len(estimators))
+    ]
+
+
 class PhaseEstimator:
     """Exact survival/potential arithmetic for one r-bit extension phase.
 
@@ -93,6 +327,8 @@ class PhaseEstimator:
         bucket_counts: np.ndarray,
         edges_u: np.ndarray,
         edges_v: np.ndarray,
+        _thresholds: np.ndarray | None = None,
+        _inv_counts: np.ndarray | None = None,
     ):
         self.family = family
         self.b = family.b
@@ -100,7 +336,11 @@ class PhaseEstimator:
         self.psi = np.asarray(psi, dtype=np.int64)
         self.counts = np.asarray(bucket_counts, dtype=np.int64)
         self.num_buckets = self.counts.shape[1]
-        self.thresholds = bucket_thresholds(self.counts, self.b)
+        self.thresholds = (
+            bucket_thresholds(self.counts, self.b)
+            if _thresholds is None
+            else _thresholds
+        )
         self.edges_u = np.asarray(edges_u, dtype=np.int64)
         self.edges_v = np.asarray(edges_v, dtype=np.int64)
         if len(self.edges_u):
@@ -112,10 +352,50 @@ class PhaseEstimator:
             self.psi_diff = diff
         else:
             self.psi_diff = np.empty(0, dtype=np.int64)
-        # 1/k_w with empty buckets mapped to 0 (they have probability 0).
-        with np.errstate(divide="ignore"):
-            inv = np.where(self.counts > 0, 1.0 / self.counts, 0.0)
-        self._inv_counts = inv
+        if _inv_counts is None:
+            # 1/k_w with empty buckets mapped to 0 (probability 0).
+            inv = np.zeros(self.counts.shape, dtype=np.float64)
+            np.divide(1.0, self.counts, out=inv, where=self.counts > 0)
+            self._inv_counts = inv
+        else:
+            self._inv_counts = _inv_counts
+
+    @classmethod
+    def build_group(
+        cls, family: PairwiseFamily, members
+    ) -> list["PhaseEstimator"]:
+        """Construct estimators for many instances sharing one family.
+
+        ``members`` is a sequence of ``(psi, bucket_counts, edges_u,
+        edges_v)`` tuples whose count matrices share a width.  The integer
+        threshold construction and the 1/k_w table — the row-independent
+        parts of ``__init__`` — run once on the stacked count rows and are
+        sliced back per member, so each estimator is identical to a direct
+        construction.
+        """
+        members = list(members)
+        if not members:
+            return []
+        counts = np.concatenate(
+            [np.asarray(m[1], dtype=np.int64) for m in members]
+        )
+        thresholds = bucket_thresholds(counts, family.b)
+        inv = np.zeros(counts.shape, dtype=np.float64)
+        np.divide(1.0, counts, out=inv, where=counts > 0)
+        offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        np.cumsum([len(m[0]) for m in members], out=offsets[1:])
+        return [
+            cls(
+                family,
+                psi,
+                counts[offsets[i]:offsets[i + 1]],
+                eu,
+                ev,
+                _thresholds=thresholds[offsets[i]:offsets[i + 1]],
+                _inv_counts=inv[offsets[i]:offsets[i + 1]],
+            )
+            for i, (psi, _counts, eu, ev) in enumerate(members)
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -131,51 +411,11 @@ class PhaseEstimator:
     # ------------------------------------------------------------------
     def expected_by_s1(self, s1_candidates: np.ndarray) -> np.ndarray:
         """E[Σ_e X_e | s1] for each candidate s1 (expectation over σ)."""
-        s1_candidates = np.asarray(s1_candidates, dtype=np.int64)
-        if self.num_edges == 0:
-            return np.zeros(len(s1_candidates), dtype=np.float64)
-        # d_e(s1) = top_b(s1 ⊙ (ψ(u) ⊕ ψ(v))), shape (candidates, edges).
-        d = self.family.g_values_many(s1_candidates, self.psi_diff)
-        if self.num_buckets == 2:
-            return self._expected_two_buckets(d)
-        return self._expected_general(d)
+        return expected_by_s1_grouped([self], s1_candidates)[0]
 
-    def _expected_two_buckets(self, d: np.ndarray) -> np.ndarray:
-        """r = 1 fast path: one counting-DP call per (candidate, edge).
-
-        Bucket 0 occupies [0, t) and bucket 1 occupies [t, 2^b); by
-        inclusion-exclusion, #{both in bucket 1} = 2^b - t_u - t_v +
-        #{both in bucket 0}.
-        """
-        t_u = self.thresholds[self.edges_u, 1][None, :]
-        t_v = self.thresholds[self.edges_v, 1][None, :]
-        n_both0 = count_xor_below(d, t_u, t_v, self.b)
-        n_both1 = self.scale - t_u - t_v + n_both0
-        w0 = self.edge_weight(0)[None, :]
-        w1 = self.edge_weight(1)[None, :]
-        total = n_both0.astype(np.float64) * w0 + n_both1.astype(np.float64) * w1
-        return total.sum(axis=1) / float(self.scale)
-
-    def _expected_general(self, d: np.ndarray) -> np.ndarray:
-        total = np.zeros(d.shape, dtype=np.float64)
-        for w in range(self.num_buckets):
-            lo_u = self.thresholds[self.edges_u, w]
-            hi_u = self.thresholds[self.edges_u, w + 1]
-            lo_v = self.thresholds[self.edges_v, w]
-            hi_v = self.thresholds[self.edges_v, w + 1]
-            live = (hi_u > lo_u) & (hi_v > lo_v)
-            if not live.any():
-                continue
-            cnt = count_xor_in_intervals(
-                d[:, live],
-                lo_u[live][None, :],
-                hi_u[live][None, :],
-                lo_v[live][None, :],
-                hi_v[live][None, :],
-                self.b,
-            )
-            total[:, live] += cnt.astype(np.float64) * self.edge_weight(w)[live][None, :]
-        return total.sum(axis=1) / float(self.scale)
+    def _edge_thresholds(self, w: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per alive edge, both endpoints' thresholds for column ``w``."""
+        return self.thresholds[self.edges_u, w], self.thresholds[self.edges_v, w]
 
     # ------------------------------------------------------------------
     def buckets_for_sigma_matrix(self, s1: int) -> np.ndarray:
@@ -205,7 +445,7 @@ class PhaseEstimator:
         n = len(self.psi)
         inv_sel = self._inv_counts[np.arange(n)[:, None], buckets]
         total = np.zeros(int(self.scale), dtype=np.float64)
-        chunk = max(1, (1 << 22) // int(self.scale))
+        chunk = max(1, _SIGMA_CHUNK_ENTRIES // int(self.scale))
         for start in range(0, self.num_edges, chunk):
             eu = self.edges_u[start:start + chunk]
             ev = self.edges_v[start:start + chunk]

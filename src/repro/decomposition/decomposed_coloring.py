@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.instances import ListColoringInstance
-from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.instances import BatchedListColoringInstance, ListColoringInstance
+from repro.core.list_coloring import solve_list_coloring_batch
 from repro.core.list_ops import prune_lists_against_colored
 from repro.core.validation import verify_proper_list_coloring
 from repro.decomposition.network_decomposition import NetworkDecomposition
@@ -62,12 +62,20 @@ class DecomposedColoringResult:
 
 
 def _class_congestion(clusters) -> int:
-    usage: dict = {}
-    for cluster in clusters:
-        for u, v in cluster.tree_edges:
-            key = (min(int(u), int(v)), max(int(u), int(v)))
-            usage[key] = usage.get(key, 0) + 1
-    return max(usage.values(), default=1)
+    """κ of one color class: max number of cluster trees sharing an edge.
+
+    One encoded-key ``np.unique`` over the concatenated tree edges replaces
+    the per-edge Python dict loop.
+    """
+    arrays = [c.tree_edge_array() for c in clusters if c.tree_edges]
+    if not arrays:
+        return 1
+    edges = np.concatenate(arrays)
+    lo = edges.min(axis=1)
+    hi = edges.max(axis=1)
+    base = np.int64(int(hi.max()) + 1)
+    _, counts = np.unique(lo * base + hi, return_counts=True)
+    return int(counts.max())
 
 
 def solve_list_coloring_polylog(
@@ -97,25 +105,39 @@ def solve_list_coloring_polylog(
     for color in sorted(by_color):
         clusters = by_color[color]
         kappa = _class_congestion(clusters)
-        max_rounds = 0
-        for cluster in clusters:
-            nodes = cluster.nodes
-            # Prune lists against already-colored G-neighbors.
-            prune_lists_against_colored(graph, lists, colors, nodes)
 
-            sub_graph, original = graph.induced_subgraph(nodes)
-            sub_instance = ListColoringInstance(
-                sub_graph, instance.color_space, lists.subset(original)
+        # Prune every cluster's lists against already-colored G-neighbors.
+        # Same-class clusters are pairwise non-adjacent (Definition 3.1
+        # (iii)), so one batched deletion over all class nodes matches the
+        # sequential per-cluster updates exactly.
+        class_nodes = np.concatenate([c.nodes for c in clusters])
+        prune_lists_against_colored(graph, lists, colors, class_nodes)
+
+        # Solve the whole class as ONE batched instance: the clusters never
+        # conflict, and batching lets their per-phase seed enumerations be
+        # amortized (shared-seed phase fusion).  Aggregation over each
+        # cluster's Steiner tree: depth ≤ its weak radius; use the carving
+        # radius bound (tree depth).
+        sub_instances = []
+        originals = []
+        for cluster in clusters:
+            sub_graph, original = graph.induced_subgraph(cluster.nodes)
+            sub_instances.append(
+                ListColoringInstance(
+                    sub_graph, instance.color_space, lists.subset(original)
+                )
             )
-            # Aggregation over the cluster's Steiner tree: depth ≤ its
-            # weak radius; use the carving radius bound (tree depth).
-            depth = max(1, cluster.radius)
-            sub_result = solve_list_coloring_congest(
-                sub_instance,
-                strict=strict,
-                verify=False,
-                comm_depth=depth,
-            )
+            originals.append(original)
+        class_batch = BatchedListColoringInstance.from_instances(sub_instances)
+        batch_result = solve_list_coloring_batch(
+            class_batch,
+            strict=strict,
+            verify=False,
+            comm_depths=[max(1, cluster.radius) for cluster in clusters],
+        )
+
+        max_rounds = 0
+        for original, sub_result in zip(originals, batch_result.results):
             colors[original] = sub_result.colors
             max_rounds = max(max_rounds, sub_result.rounds.total)
         ledger.charge(f"class_{color}", max(1, max_rounds * kappa))

@@ -33,13 +33,18 @@ genuine MPC computation over edge records via :func:`mpc_group_ranks`.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.instances import ColorListStore, ListColoringInstance
-from repro.core.partial_coloring import partial_coloring_pass
+from repro.core.instances import (
+    BatchedListColoringInstance,
+    ColorListStore,
+    ListColoringInstance,
+)
+from repro.core.partial_coloring import partial_coloring_pass_batch
 from repro.core.validation import verify_proper_list_coloring
 from repro.engine.rounds import RoundLedger
 from repro.graphs.graph import Graph
@@ -99,7 +104,8 @@ def observation_4_1_lists(graph: Graph, engine: MPCEngine) -> dict:
     also writes (u, deg(u)).  Returns ``{u: sorted list}`` assembled from
     the records (for verification against the direct construction).
     """
-    records = [("edge", u, v) for u, v in _directed_edges(graph).tolist()]
+    directed = _directed_edges(graph)
+    records = _tagged_records("edge", directed[:, 0], directed[:, 1])
     for machine in range(engine.num_machines):
         engine.stores[machine] = []
     engine.scatter(records)
@@ -135,15 +141,20 @@ def _directed_edges(graph: Graph) -> np.ndarray:
     return directed
 
 
+def _tagged_records(tag: str, first: np.ndarray, second: np.ndarray) -> list:
+    """``(tag, a, b)`` record tuples straight from two flat arrays.
+
+    One ``zip`` over the materialized columns — no per-record Python
+    unpacking loop.
+    """
+    return list(zip(itertools.repeat(tag), first.tolist(), second.tolist()))
+
+
 def _initial_records(instance: ListColoringInstance) -> list:
-    records = [
-        ("edge", u, v) for u, v in _directed_edges(instance.graph).tolist()
-    ]
+    directed = _directed_edges(instance.graph)
     store = instance.lists
-    records.extend(
-        ("list", u, c)
-        for u, c in zip(store.node_ids().tolist(), store.values.tolist())
-    )
+    records = _tagged_records("edge", directed[:, 0], directed[:, 1])
+    records.extend(_tagged_records("list", store.node_ids(), store.values))
     return records
 
 
@@ -264,14 +275,16 @@ def solve_list_coloring_mpc(
         # one payload word-pair per directed edge it stores.
         _exchange_edge_payloads(engine, ledger)
 
-        outcome = partial_coloring_pass(
-            sub_instance,
+        # The residual instance rides the batched solver path (a batch of
+        # one): the same fused phase engine every other consumer uses.
+        outcome = partial_coloring_pass_batch(
+            BatchedListColoringInstance.from_instances([sub_instance]),
             psi[original],
-            num_input_colors=n,
+            [n],
             r_schedule=r_schedule,
             avoid_mis=True,
             strict=strict,
-        )
+        )[0]
         newly = np.flatnonzero(outcome.colors != -1)
         colors[original[newly]] = outcome.colors[newly]
 
@@ -287,7 +300,9 @@ def solve_list_coloring_mpc(
         ledger.charge("passes", pass_rounds)
 
         # List updates through the set-difference primitive (real records).
-        _mpc_list_update(engine, graph, lists, colors, original[newly], ledger)
+        _mpc_list_update(
+            engine, graph, lists, colors, original[newly], ledger, verify=verify
+        )
 
         result.passes.append(
             MPCPassStats(
@@ -319,15 +334,11 @@ def _load_residual_records(
     active_mask = colors == -1
     srcs, nbrs = graph.gather_neighbors(uncolored)
     both = active_mask[nbrs]
-    records = [
-        ("edge", v, u)
-        for v, u in np.stack([srcs[both], nbrs[both]], axis=1).tolist()
-    ]
+    records = _tagged_records("edge", srcs[both], nbrs[both])
     residual = lists.subset(uncolored)
     records.extend(
-        ("list", v, c)
-        for v, c in zip(
-            uncolored[residual.node_ids()].tolist(), residual.values.tolist()
+        _tagged_records(
+            "list", uncolored[residual.node_ids()], residual.values
         )
     )
     for machine in range(engine.num_machines):
@@ -374,6 +385,7 @@ def _mpc_list_update(
     colors: np.ndarray,
     newly_colored: np.ndarray,
     ledger: RoundLedger,
+    verify: bool = True,
 ) -> None:
     """Delete colors taken by newly colored neighbors (Definition 5.3).
 
@@ -381,25 +393,19 @@ def _mpc_list_update(
     each newly colored node w and each uncolored neighbor u of w, the pair
     (u, color(w)).  After the set-difference, entries marked present are
     deleted.  The same deletion is applied to the driver's mirror of the
-    lists; both views are asserted equal.
+    lists; with ``verify`` the surviving records are collected and asserted
+    equal to the mirror (the collection is skipped entirely otherwise — it
+    is a debug cross-check, not part of the data plane or round charges).
     """
     uncolored = np.flatnonzero(colors == -1)
     before = lists.subset(uncolored)
-    records = [
-        ("a", u, c)
-        for u, c in zip(
-            uncolored[before.node_ids()].tolist(), before.values.tolist()
-        )
-    ]
+    records = _tagged_records("a", uncolored[before.node_ids()], before.values)
     newly = np.asarray(newly_colored, dtype=np.int64)
     srcs, nbrs = graph.gather_neighbors(newly)
     open_nbr = colors[nbrs] == -1
     del_nodes = nbrs[open_nbr]
     del_colors = colors[srcs][open_nbr]
-    records.extend(
-        ("b", u, cw)
-        for u, cw in np.stack([del_nodes, del_colors], axis=1).tolist()
-    )
+    records.extend(_tagged_records("b", del_nodes, del_colors))
     for machine in range(engine.num_machines):
         engine.stores[machine] = []
     engine.scatter(records)
@@ -410,16 +416,20 @@ def _mpc_list_update(
 
     # Driver mirror: the same deletion as one batched CSR update ...
     lists.delete_pairs(del_nodes, del_colors)
+    if not verify:
+        return
     # ... asserted equal to the records the MPC set-difference kept.
-    surv_nodes = []
-    surv_colors = []
-    for store in engine.stores:
-        for (_tag, u, c), present in store:
-            if not present:
-                surv_nodes.append(u)
-                surv_colors.append(c)
-    surv_nodes = np.asarray(surv_nodes, dtype=np.int64)
-    surv_colors = np.asarray(surv_colors, dtype=np.int64)
+    surviving = [
+        (u, c)
+        for store in engine.stores
+        for (_tag, u, c), present in store
+        if not present
+    ]
+    if surviving:
+        surv = np.asarray(surviving, dtype=np.int64)
+        surv_nodes, surv_colors = surv[:, 0], surv[:, 1]
+    else:
+        surv_nodes = surv_colors = np.empty(0, dtype=np.int64)
     order = np.lexsort((surv_colors, surv_nodes))
     after = lists.subset(uncolored)
     if not (
@@ -450,16 +460,10 @@ def _mpc_endgame(
     active_mask[active] = True
     srcs, nbrs = graph.gather_neighbors(active)
     forward = active_mask[nbrs] & (srcs < nbrs)
-    records = [
-        ("edge", v, u)
-        for v, u in np.stack([srcs[forward], nbrs[forward]], axis=1).tolist()
-    ]
+    records = _tagged_records("edge", srcs[forward], nbrs[forward])
     residual = lists.subset(active)
     records.extend(
-        ("list", v, c)
-        for v, c in zip(
-            active[residual.node_ids()].tolist(), residual.values.tolist()
-        )
+        _tagged_records("list", active[residual.node_ids()], residual.values)
     )
     for machine in range(engine.num_machines):
         engine.stores[machine] = []

@@ -15,6 +15,7 @@ colors, which fit in CONGEST messages).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -44,6 +45,7 @@ def next_prime(x: int) -> int:
     return candidate
 
 
+@lru_cache(maxsize=4096)
 def _choose_field(num_colors: int, max_degree: int) -> tuple[int, int]:
     """Smallest prime q with q > Δ·t where t = ⌈log_q K⌉ - 1 digits suffice."""
     delta = max(1, max_degree)
@@ -87,20 +89,29 @@ def linial_step(
     values = np.zeros((graph.n, q), dtype=np.int64)
     for i in range(t, -1, -1):
         values = (values * points[None, :] + digits[:, i][:, None]) % q
-    new_colors = np.empty(graph.n, dtype=np.int64)
-    for v in range(graph.n):
-        nbrs = graph.neighbors(v)
-        if len(nbrs):
-            collision = (values[nbrs] == values[v][None, :]).any(axis=0)
-        else:
-            collision = np.zeros(q, dtype=bool)
-        free = np.flatnonzero(~collision)
-        if len(free) == 0:  # impossible when q > Δ·t
-            raise AssertionError(
-                f"Linial step found no free evaluation point at node {v}"
-            )
-        a = int(free[0])
-        new_colors[v] = a * q + values[v, a]
+    # Collision matrix (n, q): node v collides at point a iff some neighbor
+    # agrees with p_v(a).  The full adjacency IS the CSR arrays — sources
+    # come from one repeat over the degrees — and encoded-key bincounts
+    # find all collisions; no per-node loop.  The per-edge comparison is
+    # chunked so the (edges, q) temporaries stay bounded on dense graphs.
+    srcs = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+    nbrs = graph.adj_targets
+    counts = np.zeros(graph.n * q, dtype=np.int64)
+    chunk = max(1, (1 << 22) // q)
+    for start in range(0, len(srcs), chunk):
+        s = srcs[start:start + chunk]
+        agree_row, agree_col = np.nonzero(values[nbrs[start:start + chunk]] == values[s])
+        counts += np.bincount(s[agree_row] * q + agree_col, minlength=graph.n * q)
+    collision = counts.reshape(graph.n, q) > 0
+    has_free = ~collision.all(axis=1)
+    if not has_free.all():  # impossible when q > Δ·t
+        v = int(np.argmin(has_free))
+        raise AssertionError(
+            f"Linial step found no free evaluation point at node {v}"
+        )
+    # Each node keeps its first collision-free evaluation point.
+    a = np.argmax(~collision, axis=1)
+    new_colors = a * q + values[np.arange(graph.n), a]
     return new_colors, q * q
 
 
@@ -130,6 +141,12 @@ def linial_coloring(
             num_colors = int(colors.max(initial=0)) + 1
     iterations = 0
     while True:
+        # The step maps [K] -> [q²]; once q² stops shrinking K the next
+        # step would be the identity, so the fixpoint is known from the
+        # (cached) field choice alone — no wasted final step.
+        q, t = _choose_field(num_colors, graph.max_degree)
+        if t == 0 or q * q >= num_colors:
+            break
         new_colors, new_k = linial_step(graph, colors, num_colors)
         if new_k >= num_colors:
             break

@@ -1,0 +1,255 @@
+"""BatchedListColoringInstance and batched-vs-sequential equivalence.
+
+The batched solver contract: solving k vertex-disjoint instances through
+one ``solve_list_coloring_batch`` call produces, per instance, *exactly*
+what the sequential per-instance loop produces — colors, round-ledger
+breakdowns, potential traces and seed choices — while the per-phase seed
+enumerations are fused across instances sharing a seed space.  These tests
+pin that contract on heterogeneous batches and the edge cases (empty
+batch, empty member instance, a single instance).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.derandomize import derandomize_phase, derandomize_phase_group
+from repro.core.instances import (
+    BatchedListColoringInstance,
+    ColorListStore,
+    ListColoringInstance,
+    make_delta_plus_one_instance,
+    make_random_lists_instance,
+)
+from repro.core.list_coloring import (
+    solve_list_coloring_batch,
+    solve_list_coloring_congest,
+)
+from repro.core.partial_coloring import (
+    partial_coloring_pass,
+    partial_coloring_pass_batch,
+)
+from repro.core.prefix import extend_prefixes, extend_prefixes_batch
+from repro.core.validation import verify_proper_list_coloring
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+def heterogeneous_instances():
+    """Instances with differing Δ, color spaces and ψ domains — they land
+    in different (a, b) fusion groups, plus two that share one."""
+    return [
+        make_delta_plus_one_instance(gen.cycle_graph(12)),
+        make_delta_plus_one_instance(gen.cycle_graph(10)),  # shares (ψ, b) shape
+        make_delta_plus_one_instance(gen.random_regular_graph(16, 4, seed=3)),
+        make_random_lists_instance(
+            gen.random_regular_graph(12, 3, seed=5),
+            32,
+            np.random.default_rng(11),
+            slack=2,
+        ),
+        make_delta_plus_one_instance(gen.star_graph(7)),
+    ]
+
+
+class TestBatchRoundTrips:
+    def test_from_instances_split_round_trip(self):
+        instances = heterogeneous_instances()
+        batch = BatchedListColoringInstance.from_instances(instances)
+        assert batch.num_instances == len(instances)
+        assert batch.n == sum(inst.n for inst in instances)
+        for original, view in zip(instances, batch.split()):
+            assert view.color_space == original.color_space
+            assert np.array_equal(view.graph.edges_u, original.graph.edges_u)
+            assert np.array_equal(view.graph.edges_v, original.graph.edges_v)
+            assert np.array_equal(view.lists.values, original.lists.values)
+            assert np.array_equal(view.lists.offsets, original.lists.offsets)
+
+    def test_split_without_cached_graphs(self):
+        instances = heterogeneous_instances()[:2]
+        batch = BatchedListColoringInstance.from_instances(instances)
+        rebuilt = BatchedListColoringInstance(
+            batch.graph, batch.instance_offsets, batch.color_spaces, batch.lists
+        )
+        assert rebuilt.instance_graphs is None
+        for original, view in zip(instances, rebuilt.split()):
+            assert np.array_equal(view.graph.edges_u, original.graph.edges_u)
+            assert np.array_equal(view.lists.values, original.lists.values)
+
+    def test_empty_batch(self):
+        batch = BatchedListColoringInstance.from_instances([])
+        assert batch.num_instances == 0 and batch.n == 0
+        assert batch.split() == []
+        assert extend_prefixes_batch(batch, np.empty(0, dtype=np.int64), []) == []
+        assert partial_coloring_pass_batch(batch, np.empty(0, dtype=np.int64), []) == []
+        assert solve_list_coloring_batch(batch).results == []
+
+    def test_single_instance_batch(self):
+        instance = make_delta_plus_one_instance(gen.cycle_graph(9))
+        batch = BatchedListColoringInstance.from_instances([instance])
+        sequential = solve_list_coloring_congest(instance)
+        batched = solve_list_coloring_batch(batch).results[0]
+        assert np.array_equal(sequential.colors, batched.colors)
+        assert sequential.rounds.breakdown() == batched.rounds.breakdown()
+
+    def test_batch_with_empty_member(self):
+        empty = ListColoringInstance(
+            Graph(0, []), 4, ColorListStore.from_lists([], 0)
+        )
+        full = make_delta_plus_one_instance(gen.cycle_graph(6))
+        batch = BatchedListColoringInstance.from_instances([empty, full, empty])
+        result = solve_list_coloring_batch(batch)
+        assert result.results[0].colors.size == 0
+        assert result.results[0].rounds.total == 0
+        assert result.results[2].colors.size == 0
+        reference = solve_list_coloring_congest(full)
+        assert np.array_equal(result.results[1].colors, reference.colors)
+        assert result.results[1].rounds.breakdown() == reference.rounds.breakdown()
+
+    def test_rejects_cross_instance_edges(self):
+        with pytest.raises(ValueError, match="crosses instance blocks"):
+            BatchedListColoringInstance(
+                Graph(4, [(1, 2)]),
+                np.array([0, 2, 4]),
+                np.array([2, 2]),
+                ColorListStore.from_lists([[0, 1]] * 4, 4),
+            )
+
+    def test_rejects_wrong_partition(self):
+        store = ColorListStore.from_lists([[0, 1]] * 4, 4)
+        with pytest.raises(ValueError, match="cover"):
+            BatchedListColoringInstance(
+                Graph(4, []), np.array([0, 2]), np.array([2]), store
+            )
+        with pytest.raises(ValueError, match="color spaces"):
+            BatchedListColoringInstance(
+                Graph(4, []), np.array([0, 2, 4]), np.array([2]), store
+            )
+
+
+class TestBatchedEquivalence:
+    """Batched paths pinned byte-identical to the per-instance loop."""
+
+    def test_extend_prefixes_batch_matches_sequential(self):
+        instances = heterogeneous_instances()
+        psis = [np.arange(inst.n, dtype=np.int64) for inst in instances]
+        nums = [max(2, inst.n) for inst in instances]
+        sequential = [
+            extend_prefixes(inst, psi, num)
+            for inst, psi, num in zip(instances, psis, nums)
+        ]
+        batch = BatchedListColoringInstance.from_instances(instances)
+        batched = extend_prefixes_batch(batch, np.concatenate(psis), nums)
+        for seq, bat in zip(sequential, batched):
+            assert np.array_equal(seq.candidates, bat.candidates)
+            assert np.array_equal(seq.conflict_degrees, bat.conflict_degrees)
+            assert np.array_equal(seq.conflict_edges_u, bat.conflict_edges_u)
+            assert np.array_equal(seq.conflict_edges_v, bat.conflict_edges_v)
+            assert seq.potential_trace == bat.potential_trace  # float-exact
+            assert seq.total_seed_bits == bat.total_seed_bits
+            for ps, pb in zip(seq.phases, bat.phases):
+                assert (ps.r, ps.b, ps.seed_bits) == (pb.r, pb.b, pb.seed_bits)
+                assert ps.seed.s1 == pb.seed.s1
+                assert ps.seed.sigma == pb.seed.sigma
+                assert ps.initial_expectation == pb.initial_expectation
+                assert ps.final_value == pb.final_value
+
+    @pytest.mark.parametrize("avoid_mis", [False, True])
+    def test_partial_pass_batch_matches_sequential(self, avoid_mis):
+        instances = heterogeneous_instances()
+        psis = [np.arange(inst.n, dtype=np.int64) for inst in instances]
+        nums = [max(2, inst.n) for inst in instances]
+        sequential = [
+            partial_coloring_pass(inst, psi, num, avoid_mis=avoid_mis)
+            for inst, psi, num in zip(instances, psis, nums)
+        ]
+        batch = BatchedListColoringInstance.from_instances(instances)
+        batched = partial_coloring_pass_batch(
+            batch, np.concatenate(psis), nums, avoid_mis=avoid_mis
+        )
+        for seq, bat in zip(sequential, batched):
+            assert np.array_equal(seq.colors, bat.colors)
+            assert seq.colored_count == bat.colored_count
+            assert seq.mis_rounds == bat.mis_rounds
+            assert seq.eligible_count == bat.eligible_count
+            assert seq.prefix.potential_trace == bat.prefix.potential_trace
+
+    def test_solve_batch_matches_sequential(self):
+        instances = heterogeneous_instances()
+        sequential = [solve_list_coloring_congest(inst) for inst in instances]
+        batch = BatchedListColoringInstance.from_instances(instances)
+        batched = solve_list_coloring_batch(batch)
+        for inst, seq, bat in zip(instances, sequential, batched.results):
+            assert np.array_equal(seq.colors, bat.colors)
+            assert seq.rounds.breakdown() == bat.rounds.breakdown()
+            assert seq.input_coloring_size == bat.input_coloring_size
+            assert seq.linial_iterations == bat.linial_iterations
+            assert seq.comm_depth == bat.comm_depth
+            assert len(seq.passes) == len(bat.passes)
+            for ps, pb in zip(seq.passes, bat.passes):
+                assert ps.active_before == pb.active_before
+                assert ps.colored == pb.colored
+                assert ps.seed_bits == pb.seed_bits
+                assert ps.potential_trace == pb.potential_trace
+            verify_proper_list_coloring(inst, bat.colors)
+        assert np.array_equal(
+            batched.colors, np.concatenate([s.colors for s in sequential])
+        )
+
+    def test_solve_batch_with_comm_depths_and_input_colorings(self):
+        instances = heterogeneous_instances()[:3]
+        psis = [np.arange(inst.n, dtype=np.int64) for inst in instances]
+        sequential = [
+            solve_list_coloring_congest(
+                inst, comm_depth=4, input_coloring=psi, num_input_colors=inst.n
+            )
+            for inst, psi in zip(instances, psis)
+        ]
+        batch = BatchedListColoringInstance.from_instances(instances)
+        batched = solve_list_coloring_batch(
+            batch,
+            comm_depths=[4] * 3,
+            input_colorings=psis,
+            nums_input_colors=[inst.n for inst in instances],
+        )
+        for seq, bat in zip(sequential, batched.results):
+            assert np.array_equal(seq.colors, bat.colors)
+            assert seq.rounds.breakdown() == bat.rounds.breakdown()
+
+    def test_randomized_batch_is_proper(self):
+        instances = heterogeneous_instances()
+        batch = BatchedListColoringInstance.from_instances(instances)
+        result = solve_list_coloring_batch(
+            batch, rng=np.random.default_rng(5), strict=False
+        )
+        for inst, res in zip(instances, result.results):
+            verify_proper_list_coloring(inst, res.colors)
+
+
+class TestGroupedDerandomization:
+    def test_group_matches_individual_choices(self):
+        from repro.core.potential import PhaseEstimator
+        from repro.hashing.pairwise import PairwiseFamily
+
+        rng = np.random.default_rng(0)
+        estimators = []
+        for seed in range(4):
+            n = 8
+            counts = rng.integers(1, 4, size=(n, 2)).astype(np.int64)
+            eu = np.arange(n - 1, dtype=np.int64)
+            ev = eu + 1
+            estimators.append(
+                PhaseEstimator(
+                    PairwiseFamily(4, 5),
+                    np.arange(n, dtype=np.int64) + seed,
+                    counts,
+                    eu,
+                    ev,
+                )
+            )
+        grouped = derandomize_phase_group(estimators)
+        for est, fused in zip(estimators, grouped):
+            single = derandomize_phase(est)
+            assert (single.s1, single.sigma) == (fused.s1, fused.sigma)
+            assert single.initial_expectation == fused.initial_expectation
+            assert single.final_value == fused.final_value
+            assert single.conditional_trace == fused.conditional_trace

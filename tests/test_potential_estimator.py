@@ -8,7 +8,12 @@ enumeration of the randomized process of Algorithm 1.
 import numpy as np
 import pytest
 
-from repro.core.potential import PhaseEstimator, accuracy_bits, potential_sum
+from repro.core.potential import (
+    PhaseEstimator,
+    accuracy_bits,
+    expected_by_s1_grouped,
+    potential_sum,
+)
 from repro.hashing.coins import bucket_thresholds
 from repro.hashing.pairwise import PairwiseFamily
 
@@ -64,13 +69,34 @@ class TestEstimatorExactness:
             exact = est.exact_by_sigma(int(s1))
             assert expected[s1] == pytest.approx(exact.mean(), rel=1e-12)
 
-    def test_two_bucket_fast_path_equals_general_path(self):
-        est, *_ = make_estimator(buckets=2)
+    @pytest.mark.parametrize("buckets", [2, 4])
+    def test_grouped_expectation_matches_individual(self, buckets):
+        # Shared-seed fusion: one grouped sweep must reproduce each
+        # estimator's own expected_by_s1 exactly (bit-identical floats).
+        ests = [make_estimator(buckets=buckets, seed=s)[0] for s in (0, 1, 2)]
         s1s = np.arange(16, dtype=np.int64)
-        d = est.family.g_values_many(s1s, est.psi_diff)
-        fast = est._expected_two_buckets(d)
-        general = est._expected_general(d)
-        np.testing.assert_allclose(fast, general, rtol=1e-12)
+        grouped = expected_by_s1_grouped(ests, s1s)
+        for est, fused in zip(ests, grouped):
+            assert np.array_equal(est.expected_by_s1(s1s), fused)
+
+    def test_grouped_expectation_rejects_mixed_parameters(self):
+        a_small = make_estimator(a=3, b=4)[0]
+        a_large = make_estimator(a=4, b=4)[0]
+        with pytest.raises(ValueError):
+            expected_by_s1_grouped([a_small, a_large], np.arange(4))
+
+    def test_grouped_expectation_handles_edgeless_members(self):
+        family = PairwiseFamily(3, 4)
+        psi = np.arange(4, dtype=np.int64)
+        counts = np.ones((4, 2), dtype=np.int64)
+        empty = PhaseEstimator(
+            family, psi, counts, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        full = make_estimator()[0]
+        s1s = np.arange(8, dtype=np.int64)
+        grouped = expected_by_s1_grouped([empty, full, empty], s1s)
+        assert grouped[0].sum() == 0.0 and grouped[2].sum() == 0.0
+        assert np.array_equal(grouped[1], full.expected_by_s1(s1s))
 
     def test_no_edges_gives_zero(self):
         family = PairwiseFamily(3, 4)
