@@ -11,8 +11,8 @@ import pytest
 
 from repro.core.counting import count_xor_below
 from repro.core.derandomize import derandomize_phase
-from repro.core.potential import PhaseEstimator
-from repro.hashing.gf2 import get_field
+from repro.core.potential import PhaseEstimator, SeedSweepWorkspace
+from repro.hashing.gf2 import GF2m, get_field
 from repro.hashing.pairwise import PairwiseFamily
 
 
@@ -45,12 +45,58 @@ def test_kernel_counting_dp(benchmark):
 
 
 def test_kernel_gf2_mul_vec(benchmark):
+    # Default dispatch: the log/antilog table kernel at m = 16.
     field = get_field(16)
     rng = np.random.default_rng(2)
     a = rng.integers(0, field.order, size=50_000).astype(np.int64)
     b = rng.integers(0, field.order, size=50_000).astype(np.int64)
     out = benchmark(field.mul_vec, a, b)
     assert out.shape == a.shape
+
+
+def test_kernel_gf2_mul_vec_peasant(benchmark):
+    # Reference shift-and-add kernel on the same operands, for the
+    # table-vs-peasant comparison in the benchmark report.
+    field = GF2m(16, use_tables=False)
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, field.order, size=50_000).astype(np.int64)
+    b = rng.integers(0, field.order, size=50_000).astype(np.int64)
+    out = benchmark(field.mul_vec, a, b)
+    assert np.array_equal(out, get_field(16).mul_vec(a, b))
+
+
+@pytest.fixture(scope="module")
+def sweep_group():
+    rng = np.random.default_rng(3)
+    n, colors = 200, 10
+    family = PairwiseFamily(4, 8)
+    members = []
+    for _ in range(3):
+        psi = rng.integers(0, colors, size=n).astype(np.int64)
+        u = rng.integers(0, n, size=n * 6)
+        v = rng.integers(0, n, size=n * 6)
+        keep = psi[u] != psi[v]
+        counts = rng.integers(0, 3, size=(n, 2)).astype(np.int64)
+        counts[:, 0] += 1
+        members.append(PhaseEstimator(family, psi, counts, u[keep], v[keep]))
+    return members
+
+
+def test_kernel_sweep_compressed(benchmark, sweep_group):
+    candidates = np.arange(256, dtype=np.int64)
+    workspace = SeedSweepWorkspace(sweep_group, compress=True)
+    rows = benchmark(workspace.expected_rows, candidates)
+    assert rows.shape == (len(sweep_group), 256)
+
+
+def test_kernel_sweep_uncompressed(benchmark, sweep_group):
+    # Per-edge reference columns; must match the compressed rows exactly.
+    candidates = np.arange(256, dtype=np.int64)
+    workspace = SeedSweepWorkspace(sweep_group, compress=False)
+    rows = benchmark(workspace.expected_rows, candidates)
+    assert np.array_equal(
+        rows, SeedSweepWorkspace(sweep_group).expected_rows(candidates)
+    )
 
 
 def test_kernel_expected_by_s1(benchmark, estimator):

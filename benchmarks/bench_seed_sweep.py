@@ -1,0 +1,165 @@
+"""Micro-benchmark guarding the table/compression seed-sweep kernels.
+
+Builds a reference r = 1 phase group — several instances sharing one seed
+space, proper ψ-colorings from a small palette and small candidate lists,
+so edges collapse to few unique ``(ψ_u⊕ψ_v, thresholds)`` columns, the
+regime every real phase is in — and evaluates the full 2^m seed sweep and
+one complete ``derandomize_phase_group`` twice:
+
+* **reference** — the pre-table / pre-compression path: GF(2^m) multiplies
+  via the shift-and-add peasant kernel (``use_tables = False``), the
+  counting DP over every edge column (``compress=False``), and one
+  workspace rebuild per chunk (the old per-chunk concatenation cost);
+* **optimized** — the default path: log/antilog table multiplies, the
+  unique-column compressed sweep, and one
+  :class:`~repro.core.potential.SeedSweepWorkspace` reused across chunks.
+
+Both kernels are exact integer arithmetic until the final weighting, so
+the val1 matrices and every :class:`SeedChoice` (seed bits, conditional
+traces, final potentials) are asserted **bit-identical** before timing.
+Exits non-zero if the sweep speedup falls below ``--min-speedup``
+(default 5×), so CI catches regressions that reintroduce per-edge work
+into the derandomization hot path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_seed_sweep.py \
+        [--instances 3] [--n 400] [--deg 8] [--min-speedup 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.derandomize import derandomize_phase_group
+from repro.core.potential import (
+    PhaseEstimator,
+    SeedSweepWorkspace,
+    expected_by_s1_grouped,
+)
+from repro.hashing.pairwise import PairwiseFamily
+
+CHUNK = 512
+
+
+def build_group(
+    num_instances: int, n: int, deg: int, colors: int = 12, b: int = 10, seed: int = 0
+) -> list:
+    """A shared-seed phase group shaped like a real Theorem 1.1 phase."""
+    rng = np.random.default_rng(seed)
+    a = max(1, int(colors - 1).bit_length())
+    family = PairwiseFamily(a, b)
+    members = []
+    for _ in range(num_instances):
+        psi = rng.integers(0, colors, size=n).astype(np.int64)
+        u = rng.integers(0, n, size=n * deg)
+        v = rng.integers(0, n, size=n * deg)
+        keep = psi[u] != psi[v]
+        counts = rng.integers(0, 3, size=(n, 2)).astype(np.int64)
+        counts[:, 0] += 1
+        members.append(PhaseEstimator(family, psi, counts, u[keep], v[keep]))
+    return members
+
+
+def optimized_sweep(estimators: list, order: int) -> np.ndarray:
+    """One workspace for the whole enumeration; compressed columns."""
+    workspace = SeedSweepWorkspace(estimators, compress=True)
+    val1 = np.empty((len(estimators), order), dtype=np.float64)
+    for start in range(0, order, CHUNK):
+        stop = min(order, start + CHUNK)
+        workspace.expected_rows(
+            np.arange(start, stop, dtype=np.int64), out=val1[:, start:stop]
+        )
+    return val1
+
+
+def reference_sweep(estimators: list, order: int) -> np.ndarray:
+    """The pre-workspace shape: re-fused from scratch every chunk."""
+    val1 = np.empty((len(estimators), order), dtype=np.float64)
+    for start in range(0, order, CHUNK):
+        stop = min(order, start + CHUNK)
+        chunk = expected_by_s1_grouped(
+            estimators, np.arange(start, stop, dtype=np.int64), compress=False
+        )
+        for j, values in enumerate(chunk):
+            val1[j, start:stop] = values
+    return val1
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def assert_choices_identical(optimized: list, reference: list) -> None:
+    for new, ref in zip(optimized, reference):
+        assert (new.s1, new.sigma) == (ref.s1, ref.sigma), "seed choices diverged"
+        assert new.conditional_trace == ref.conditional_trace, (
+            "conditional-expectation traces diverged"
+        )
+        assert new.initial_expectation == ref.initial_expectation
+        assert new.final_value == ref.final_value
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instances", type=int, default=3)
+    parser.add_argument("--n", type=int, default=400)
+    parser.add_argument("--deg", type=int, default=8)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args()
+
+    estimators = build_group(args.instances, args.n, args.deg)
+    field = estimators[0].family.field
+    order = 1 << estimators[0].family.m
+    edges = sum(est.num_edges for est in estimators)
+    unique = len(SeedSweepWorkspace(estimators).uniq_psi_diff)
+
+    # Byte-identity of the sweep and of the full phase derandomization
+    # against the pre-table / pre-compression reference path.
+    val1_new = optimized_sweep(estimators, order)
+    choices_new = derandomize_phase_group(estimators)
+    field.use_tables = False
+    val1_ref = reference_sweep(estimators, order)
+    choices_ref = derandomize_phase_group(estimators, compress=False)
+    field.use_tables = True
+    assert np.array_equal(val1_new, val1_ref), "val1 sweep diverged"
+    assert_choices_identical(choices_new, choices_ref)
+
+    t_new = best_of(lambda: optimized_sweep(estimators, order))
+    field.use_tables = False
+    t_ref = best_of(lambda: reference_sweep(estimators, order))
+    field.use_tables = True
+    speedup = t_ref / t_new
+
+    print(
+        f"instances={args.instances} edges={edges} unique-columns={unique} "
+        f"seeds=2^{estimators[0].family.m} (byte-identical outputs)"
+    )
+    print(f"reference sweep (peasant GF, per-edge DP): {t_ref * 1000:8.1f} ms")
+    print(
+        f"table/compressed sweep:                    {t_new * 1000:8.1f} ms"
+        f"   ({speedup:.1f}x)"
+    )
+
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: sweep speedup {speedup:.1f}x < "
+            f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

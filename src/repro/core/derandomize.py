@@ -28,8 +28,8 @@ import numpy as np
 
 from repro.core.potential import (
     PhaseEstimator,
+    SeedSweepWorkspace,
     exact_by_sigma_grouped,
-    expected_by_s1_grouped,
 )
 
 __all__ = [
@@ -89,17 +89,21 @@ def fix_bits_greedily_many(rows: np.ndarray) -> tuple[np.ndarray, list[list[floa
 
     rng = np.arange(num)
     lo = np.zeros(num, dtype=np.int64)
-    traces: list[list[float]] = [[] for _ in range(num)]
+    # Collect each bit's chosen means as one column; a single tolist() at
+    # the end replaces the former per-row Python append loop per bit.
+    columns: list[np.ndarray] = []
     while size > 1:
         half = size // 2
         mean0 = (prefix[rng, lo + half] - prefix[rng, lo]) / half
         mean1 = (prefix[rng, lo + size] - prefix[rng, lo + half]) / half
         take1 = mean1 < mean0
         lo = np.where(take1, lo + half, lo)
-        chosen = np.where(take1, mean1, mean0)
-        for j in range(num):
-            traces[j].append(float(chosen[j]))
+        columns.append(np.where(take1, mean1, mean0))
         size = half
+    if columns:
+        traces = np.stack(columns, axis=1).tolist()
+    else:
+        traces = [[] for _ in range(num)]
     return lo, traces
 
 
@@ -107,6 +111,7 @@ def derandomize_phase(
     estimator: PhaseEstimator,
     chunk_size: int = 512,
     strict: bool = True,
+    compress: bool = True,
 ) -> SeedChoice:
     """Choose a good seed for one phase (Lemma 2.6).
 
@@ -118,13 +123,14 @@ def derandomize_phase(
 
     Single-estimator view of :func:`derandomize_phase_group`.
     """
-    return derandomize_phase_group([estimator], chunk_size, strict)[0]
+    return derandomize_phase_group([estimator], chunk_size, strict, compress)[0]
 
 
 def derandomize_phase_group(
     estimators,
     chunk_size: int = 512,
     strict: bool = True,
+    compress: bool = True,
 ) -> list:
     """Derandomize one phase of many instances against one seed sweep.
 
@@ -132,11 +138,17 @@ def derandomize_phase_group(
     count — the shared-seed fusion contract of the batched solver.  The
     ``val1[s1]`` conditional-expectation arrays of all estimators are
     produced by a single chunked enumeration of the 2^m multiplicative
-    seeds (:func:`expected_by_s1_grouped`, the dominant per-phase cost);
-    each instance then fixes its own seed bits independently (segmented
-    argmin over its own conditional expectations), so the returned
-    :class:`SeedChoice` per estimator is identical to a standalone
-    :func:`derandomize_phase` call.
+    seeds — the dominant per-phase cost.  One
+    :class:`~repro.core.potential.SeedSweepWorkspace` is built for the
+    whole enumeration, so the concatenated edge arrays, the unique-column
+    decomposition, and the per-chunk work buffers are constructed once
+    instead of 2^m / chunk_size times; each chunk writes its columns
+    straight into the ``val1`` matrix.  Each instance then fixes its own
+    seed bits independently (segmented argmin over its own conditional
+    expectations), so the returned :class:`SeedChoice` per estimator is
+    identical to a standalone :func:`derandomize_phase` call.
+    ``compress=False`` forces the uncompressed reference kernels (results
+    are bit-identical; used by tests and the benchmark guard).
     """
     estimators = list(estimators)
     if not estimators:
@@ -144,20 +156,19 @@ def derandomize_phase_group(
     m = estimators[0].family.m
     order = 1 << m
 
+    sweep = SeedSweepWorkspace(estimators, compress=compress)
     val1 = np.empty((len(estimators), order), dtype=np.float64)
     for start in range(0, order, chunk_size):
         stop = min(order, start + chunk_size)
-        chunk = expected_by_s1_grouped(
-            estimators, np.arange(start, stop, dtype=np.int64)
+        sweep.expected_rows(
+            np.arange(start, stop, dtype=np.int64), out=val1[:, start:stop]
         )
-        for j, values in enumerate(chunk):
-            val1[j, start:stop] = values
 
     # Fix every instance's s1 bits first (one vectorized greedy descent over
     # all rows), then evaluate the exact σ arrays for the whole group in one
     # fused sweep and fix the σ bits the same way.
     s1s, traces1 = fix_bits_greedily_many(val1)
-    val2s = exact_by_sigma_grouped(estimators, s1s)
+    val2s = exact_by_sigma_grouped(estimators, s1s, compress=compress)
     sigmas, traces2 = fix_bits_greedily_many(np.stack(val2s))
 
     choices = []

@@ -22,6 +22,21 @@ edge-wise:
 These two arrays are all the method of conditional expectations needs: the
 conditional expectation after fixing any prefix of seed bits is the mean of
 the corresponding block (Lemma 2.6 / Eq. (7)).
+
+**Unique-column compression.**  The seed sweeps only ever evaluate the
+hash on per-edge keys ``(ψ_u ⊕ ψ_v, thresholds(u), thresholds(v))`` (for
+the E[·|s1] sweep) and per-node keys ``(s1, ψ_v, thresholds(v))`` (for the
+σ sweep): everything a column of the candidate matrix contributes is a
+function of that key, and real instances collapse to a handful of distinct
+keys.  :class:`SeedSweepWorkspace` and the σ-side kernels therefore
+deduplicate columns with one encoded-key ``np.unique``, run the GF(2^m)
+multiply and the counting DP on unique columns only, and scatter the
+*integer* counts (or bucket indices) back through the inverse index before
+any float enters.  Because every float operation then sees the exact same
+operands in the exact same order as the uncompressed evaluation, the
+compressed sweeps are bit-for-bit identical — compression, like the
+GF(2^m) log tables it composes with, is a speed knob that can never change
+a seed choice, ledger, or coloring.
 """
 
 from __future__ import annotations
@@ -34,13 +49,27 @@ from repro.core.counting import count_xor_below, count_xor_in_intervals
 from repro.hashing.coins import bucket_thresholds
 from repro.hashing.pairwise import PairwiseFamily
 
-#: Entry budget of one σ-summation block.  The fused grouped σ sweep is
-#: bit-identical to the per-estimator method only because both sum a
-#: member's edges in one block of this same size — keep them coupled.
+#: Entry budgets of the two σ-sweep summation loops — a coupled pair.
+#:
+#: ``_SIGMA_CHUNK_ENTRIES`` bounds one edge-summation block of
+#: :meth:`PhaseEstimator.exact_by_sigma` (edges × 2^b entries per block).
+#: ``_SIGMA_FUSE_BUDGET_ENTRIES`` bounds one fused sub-batch of
+#: :func:`exact_by_sigma_grouped` ((nodes + edges) × 2^b entries).
+#:
+#: Byte-identity coupling: the fused sweep is bit-identical to the
+#: per-estimator method only because every fusable member (one with at most
+#: ``_SIGMA_CHUNK_ENTRIES // 2^b`` edges) has its edge contributions summed
+#: in a single block either way — members above that bound fall back to the
+#: sequential chunked method, since different chunk boundaries would reorder
+#: float additions.  Keep ``_SIGMA_FUSE_BUDGET_ENTRIES >=
+#: _SIGMA_CHUNK_ENTRIES`` so a lone fusable member always fits one
+#: sub-batch, and change the two budgets together.
 _SIGMA_CHUNK_ENTRIES = 1 << 22
+_SIGMA_FUSE_BUDGET_ENTRIES = 2 * _SIGMA_CHUNK_ENTRIES
 
 __all__ = [
     "PhaseEstimator",
+    "SeedSweepWorkspace",
     "buckets_for_seed_grouped",
     "exact_by_sigma_grouped",
     "expected_by_s1_grouped",
@@ -82,8 +111,8 @@ def accuracy_bits(
     return max(1, math.ceil(math.log2(need)) + 1)
 
 
-def expected_by_s1_grouped(estimators, s1_candidates: np.ndarray) -> list:
-    """``E[Σ_e X_e | s1]`` per estimator, with the seed sweep fused.
+class SeedSweepWorkspace:
+    """Seed-independent state for the fused ``E[Σ_e X_e | s1]`` sweep.
 
     This is the shared-seed phase fusion of the batched solver: all
     estimators must share the family parameters ``(a, b)`` and the bucket
@@ -97,73 +126,244 @@ def expected_by_s1_grouped(estimators, s1_candidates: np.ndarray) -> list:
     so the result is numerically identical to calling
     :meth:`PhaseEstimator.expected_by_s1` per estimator.
 
+    Constructing the workspace once per phase hoists everything that does
+    not depend on the s1 candidates out of the chunked 2^m enumeration:
+
+    * the concatenated per-edge arrays (ψ-differences, endpoint threshold
+      rows, the (edges × buckets) weight matrix) are built once instead of
+      once per chunk;
+    * with ``compress=True`` (the default), edge columns are deduplicated
+      by the key ``(ψ_u ⊕ ψ_v, thresholds(u), thresholds(v))`` via one
+      ``np.unique``; each chunk runs the GF multiply and counting DP on
+      unique columns only and scatters the *integer* counts back through
+      the inverse index before the float weighting, so float summation
+      order — and therefore every seed choice downstream — is unchanged;
+    * the per-chunk work matrices (counts, contribution totals) live in a
+      small buffer cache reused across chunks.
+    """
+
+    def __init__(self, estimators, compress: bool = True):
+        self.estimators = list(estimators)
+        self.compress = bool(compress)
+        self._buffers: dict = {}
+        if self.estimators:
+            _check_group(self.estimators)
+        live = [est for est in self.estimators if est.num_edges]
+        self.live = live
+        if not live:
+            return
+        first = live[0]
+        self.family = first.family
+        self.b = first.b
+        self.scale = first.scale
+        self.num_buckets = first.num_buckets
+        bounds = np.zeros(len(live) + 1, dtype=np.int64)
+        np.cumsum([est.num_edges for est in live], out=bounds[1:])
+        self.bounds = bounds
+        self.psi_diff = np.concatenate([est.psi_diff for est in live])
+        # Endpoint threshold rows and the (edges × buckets) weight matrix
+        # (1/k_w(u) + 1/k_w(v)); column w reproduces edge_weight(w) exactly.
+        self.thr_u = np.concatenate(
+            [est.thresholds[est.edges_u] for est in live]
+        )
+        self.thr_v = np.concatenate(
+            [est.thresholds[est.edges_v] for est in live]
+        )
+        self.weights = np.concatenate(
+            [
+                est._inv_counts[est.edges_u] + est._inv_counts[est.edges_v]
+                for est in live
+            ]
+        )
+        if self.compress:
+            key = np.concatenate(
+                [self.psi_diff[:, None], self.thr_u, self.thr_v], axis=1
+            )
+            uniq, inverse = np.unique(key, axis=0, return_inverse=True)
+            width = self.thr_u.shape[1]
+            self.inverse = inverse.reshape(-1)
+            self.uniq_psi_diff = np.ascontiguousarray(uniq[:, 0])
+            self.uniq_thr_u = np.ascontiguousarray(uniq[:, 1:1 + width])
+            self.uniq_thr_v = np.ascontiguousarray(uniq[:, 1 + width:])
+        if self.num_buckets != 2:
+            self._interval_plan = [
+                self._plan_bucket(w) for w in range(self.num_buckets)
+            ]
+
+    def _plan_bucket(self, w: int):
+        """Seed-independent state of interval-loop bucket ``w``.
+
+        The alive mask, the DP threshold operands, the inverse-gather
+        indices and the weight slice depend only on workspace state, so
+        they are built once here instead of once per chunk.  Returns
+        ``None`` for buckets empty at every edge endpoint.
+        """
+        if self.compress:
+            lo_u = self.uniq_thr_u[:, w]
+            hi_u = self.uniq_thr_u[:, w + 1]
+            lo_v = self.uniq_thr_v[:, w]
+            hi_v = self.uniq_thr_v[:, w + 1]
+        else:
+            lo_u = self.thr_u[:, w]
+            hi_u = self.thr_u[:, w + 1]
+            lo_v = self.thr_v[:, w]
+            hi_v = self.thr_v[:, w + 1]
+        alive = (hi_u > lo_u) & (hi_v > lo_v)
+        if not alive.any():
+            return None
+        bounds = (
+            lo_u[alive][None, :],
+            hi_u[alive][None, :],
+            lo_v[alive][None, :],
+            hi_v[alive][None, :],
+        )
+        if not self.compress:
+            return alive, bounds, None, self.weights[alive, w][None, :]
+        position = np.cumsum(alive) - 1
+        alive_full = alive[self.inverse]
+        gather = position[self.inverse[alive_full]]
+        return (
+            alive,
+            bounds,
+            (alive_full, gather),
+            self.weights[alive_full, w][None, :],
+        )
+
+    # ------------------------------------------------------------------
+    def _buf(self, name: str, shape: tuple, dtype) -> np.ndarray:
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    def _contributions_r1(self, s1_candidates: np.ndarray) -> np.ndarray:
+        """r = 1 fast path: one counting-DP call per (candidate, edge).
+
+        Bucket 0 occupies [0, t) and bucket 1 occupies [t, 2^b); by
+        inclusion-exclusion, #{both in bucket 1} = 2^b - t_u - t_v +
+        #{both in bucket 0}.
+        """
+        num = len(s1_candidates)
+        edges = len(self.psi_diff)
+        t_u = self.thr_u[:, 1][None, :]
+        t_v = self.thr_v[:, 1][None, :]
+        w0 = self.weights[:, 0][None, :]
+        w1 = self.weights[:, 1][None, :]
+        if self.compress:
+            # DP on unique columns, integer scatter, THEN the float weighting.
+            d = self.family.g_values_many(s1_candidates, self.uniq_psi_diff)
+            uniq = len(self.uniq_psi_diff)
+            n_uniq = count_xor_below(
+                d,
+                self.uniq_thr_u[:, 1][None, :],
+                self.uniq_thr_v[:, 1][None, :],
+                self.b,
+                out=self._buf("n_uniq", (num, uniq), np.int64),
+            )
+            n_both0 = np.take(
+                n_uniq,
+                self.inverse,
+                axis=1,
+                out=self._buf("n_both0", (num, edges), np.int64),
+            )
+        else:
+            d = self.family.g_values_many(s1_candidates, self.psi_diff)
+            n_both0 = count_xor_below(
+                d, t_u, t_v, self.b,
+                out=self._buf("n_both0", (num, edges), np.int64),
+            )
+        n_both1 = self.scale - t_u - t_v + n_both0
+        total = np.multiply(
+            n_both0, w0, out=self._buf("total", (num, edges), np.float64)
+        )
+        part1 = np.multiply(
+            n_both1, w1, out=self._buf("part1", (num, edges), np.float64)
+        )
+        return np.add(total, part1, out=total)
+
+    def _contributions_general(self, s1_candidates: np.ndarray) -> np.ndarray:
+        """r > 1 interval loop over the 2^r bucket columns."""
+        num = len(s1_candidates)
+        edges = len(self.psi_diff)
+        total = self._buf("total", (num, edges), np.float64)
+        total[...] = 0.0
+        if self.compress:
+            d = self.family.g_values_many(s1_candidates, self.uniq_psi_diff)
+        else:
+            d = self.family.g_values_many(s1_candidates, self.psi_diff)
+        for plan in self._interval_plan:
+            if plan is None:
+                continue
+            alive, (lo_u, hi_u, lo_v, hi_v), scatter, weight = plan
+            cnt = count_xor_in_intervals(
+                d[:, alive], lo_u, hi_u, lo_v, hi_v, self.b
+            )
+            if scatter is not None:
+                # Scatter the integer counts back to full edge columns
+                # before any float multiply touches them.
+                alive_full, gather = scatter
+                total[:, alive_full] += cnt[:, gather].astype(np.float64) * weight
+            else:
+                total[:, alive] += cnt.astype(np.float64) * weight
+        return total
+
+    def expected_rows(
+        self, s1_candidates: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``E[Σ_e X_e | s1]`` as a (num estimators, num candidates) matrix.
+
+        Row j is exactly ``estimators[j].expected_by_s1(s1_candidates)``;
+        ``out``, when given, is filled in place (float64, matching shape).
+        """
+        s1_candidates = np.asarray(s1_candidates, dtype=np.int64)
+        shape = (len(self.estimators), len(s1_candidates))
+        if out is None:
+            out = np.empty(shape, dtype=np.float64)
+        elif out.shape != shape or out.dtype != np.float64:
+            raise ValueError(
+                f"out must be float64 of shape {shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
+        if not self.live:
+            out[...] = 0.0
+            return out
+        if self.num_buckets == 2:
+            total = self._contributions_r1(s1_candidates)
+        else:
+            total = self._contributions_general(s1_candidates)
+        j = 0
+        for i, est in enumerate(self.estimators):
+            if est.num_edges == 0:
+                out[i, :] = 0.0
+            else:
+                lo, hi = int(self.bounds[j]), int(self.bounds[j + 1])
+                out[i, :] = total[:, lo:hi].sum(axis=1) / float(self.scale)
+                j += 1
+        return out
+
+
+def expected_by_s1_grouped(
+    estimators, s1_candidates: np.ndarray, compress: bool = True
+) -> list:
+    """``E[Σ_e X_e | s1]`` per estimator, with the seed sweep fused.
+
+    One-shot convenience wrapper around :class:`SeedSweepWorkspace`; callers
+    enumerating the seed space in chunks should build the workspace once
+    and call :meth:`SeedSweepWorkspace.expected_rows` per chunk instead.
+    ``compress=False`` forces the uncompressed reference evaluation (used
+    by the property tests and the benchmark guard — results are identical).
+
     Returns a list of float64 arrays, one per estimator, each of length
     ``len(s1_candidates)``.
     """
     estimators = list(estimators)
     if not estimators:
         return []
-    s1_candidates = np.asarray(s1_candidates, dtype=np.int64)
-    first = estimators[0]
-    _check_group(estimators)
-    live = [est for est in estimators if est.num_edges]
-    zeros = lambda: np.zeros(len(s1_candidates), dtype=np.float64)
-    if not live:
-        return [zeros() for _ in estimators]
-
-    bounds = np.zeros(len(live) + 1, dtype=np.int64)
-    np.cumsum([est.num_edges for est in live], out=bounds[1:])
-    b = first.b
-    # d_e(s1) = top_b(s1 ⊙ (ψ(u) ⊕ ψ(v))), shape (candidates, total edges).
-    d = first.family.g_values_many(
-        s1_candidates, np.concatenate([est.psi_diff for est in live])
+    rows = SeedSweepWorkspace(estimators, compress=compress).expected_rows(
+        np.asarray(s1_candidates, dtype=np.int64)
     )
-    if first.num_buckets == 2:
-        # r = 1 fast path: one counting-DP call per (candidate, edge).
-        # Bucket 0 occupies [0, t) and bucket 1 occupies [t, 2^b); by
-        # inclusion-exclusion, #{both in bucket 1} = 2^b - t_u - t_v +
-        # #{both in bucket 0}.
-        pairs = [est._edge_thresholds(1) for est in live]
-        t_u = np.concatenate([p[0] for p in pairs])[None, :]
-        t_v = np.concatenate([p[1] for p in pairs])[None, :]
-        n_both0 = count_xor_below(d, t_u, t_v, b)
-        n_both1 = first.scale - t_u - t_v + n_both0
-        w0 = np.concatenate([est.edge_weight(0) for est in live])[None, :]
-        w1 = np.concatenate([est.edge_weight(1) for est in live])[None, :]
-        total = n_both0.astype(np.float64) * w0 + n_both1.astype(np.float64) * w1
-    else:
-        total = np.zeros(d.shape, dtype=np.float64)
-        for w in range(first.num_buckets):
-            lo_pairs = [est._edge_thresholds(w) for est in live]
-            hi_pairs = [est._edge_thresholds(w + 1) for est in live]
-            lo_u = np.concatenate([p[0] for p in lo_pairs])
-            hi_u = np.concatenate([p[0] for p in hi_pairs])
-            lo_v = np.concatenate([p[1] for p in lo_pairs])
-            hi_v = np.concatenate([p[1] for p in hi_pairs])
-            alive = (hi_u > lo_u) & (hi_v > lo_v)
-            if not alive.any():
-                continue
-            cnt = count_xor_in_intervals(
-                d[:, alive],
-                lo_u[alive][None, :],
-                hi_u[alive][None, :],
-                lo_v[alive][None, :],
-                hi_v[alive][None, :],
-                b,
-            )
-            weight = np.concatenate([est.edge_weight(w) for est in live])
-            total[:, alive] += cnt.astype(np.float64) * weight[alive][None, :]
-
-    out = []
-    j = 0
-    for est in estimators:
-        if est.num_edges == 0:
-            out.append(zeros())
-        else:
-            lo, hi = int(bounds[j]), int(bounds[j + 1])
-            out.append(total[:, lo:hi].sum(axis=1) / float(first.scale))
-            j += 1
-    return out
+    return [rows[j] for j in range(len(estimators))]
 
 
 def _check_group(estimators) -> tuple:
@@ -178,7 +378,39 @@ def _check_group(estimators) -> tuple:
     return key
 
 
-def exact_by_sigma_grouped(estimators, s1_values) -> list:
+def _bucket_sigma_matrix(
+    first, s1_node, psi, thresholds, sigmas, compress
+) -> np.ndarray:
+    """(nodes × 2^b) bucket-per-σ matrix, optionally via unique-row keys.
+
+    A node's bucket row is a function of ``(s1, ψ_v, thresholds(v))``
+    alone, so with ``compress`` the GF multiply and the 2^r threshold
+    comparisons run on the distinct keys only and the *integer* bucket
+    indices are scattered back through the inverse index — bit-identical
+    because no float is involved yet.
+    """
+    if compress and len(psi) > 1:
+        key = np.concatenate(
+            [s1_node[:, None], psi[:, None], thresholds], axis=1
+        )
+        uniq, inverse = np.unique(key, axis=0, return_inverse=True)
+        s1_node = np.ascontiguousarray(uniq[:, 0])
+        psi = np.ascontiguousarray(uniq[:, 1])
+        thresholds = uniq[:, 2:]
+    else:
+        inverse = None
+    g = first.family.field.mul_vec(s1_node, psi) >> (first.family.m - first.b)
+    y = g[:, None] ^ sigmas[None, :]
+    buckets = np.zeros((len(psi), len(sigmas)), dtype=np.int64)
+    for w in range(1, first.num_buckets):
+        buckets += thresholds[:, w, None] <= y
+    np.clip(buckets, 0, first.num_buckets - 1, out=buckets)
+    if inverse is not None:
+        buckets = buckets[inverse.reshape(-1)]
+    return buckets
+
+
+def exact_by_sigma_grouped(estimators, s1_values, compress: bool = True) -> list:
     """Per estimator, exact Σ_e X_e for every σ given its own s1 — fused.
 
     The per-node hash evaluation (one GF(2^m) multiply with a per-node s1),
@@ -190,6 +422,12 @@ def exact_by_sigma_grouped(estimators, s1_values) -> list:
     chunk fall back to their own method (different chunk boundaries would
     reorder float additions); memory is bounded by processing the group in
     sub-batches.
+
+    With ``compress`` (the default) the bucket-matrix rows are computed
+    on nodes deduplicated by ``(s1, ψ_v, thresholds(v))`` and the integer
+    bucket indices scattered back through the inverse index before the
+    float contribution step, which leaves every float operation — and hence
+    the result — bit-for-bit unchanged.
     """
     estimators = list(estimators)
     if not estimators:
@@ -205,12 +443,12 @@ def exact_by_sigma_grouped(estimators, s1_values) -> list:
         if est.num_edges == 0:
             out[j] = np.zeros(scale, dtype=np.float64)
         elif est.num_edges > chunk:
-            out[j] = est.exact_by_sigma(int(s1_values[j]))
+            out[j] = est.exact_by_sigma(int(s1_values[j]), compress=compress)
         else:
             fusable.append(j)
 
     # Sub-batch so the (rows × 2^b) work arrays stay bounded.
-    budget = max(scale, 1 << 23)
+    budget = max(scale, _SIGMA_FUSE_BUDGET_ENTRIES)
     start = 0
     while start < len(fusable):
         stop = start
@@ -235,16 +473,11 @@ def exact_by_sigma_grouped(estimators, s1_values) -> list:
             ),
             sizes,
         )
-        g = first.family.field.mul_vec(s1_node, psi) >> (
-            first.family.m - first.b
-        )
         sigmas = np.arange(scale, dtype=np.int64)
-        y = g[:, None] ^ sigmas[None, :]
         thresholds = np.concatenate([est.thresholds for est in members])
-        buckets = np.zeros((len(psi), scale), dtype=np.int64)
-        for w in range(1, first.num_buckets):
-            buckets += thresholds[:, w, None] <= y
-        np.clip(buckets, 0, first.num_buckets - 1, out=buckets)
+        buckets = _bucket_sigma_matrix(
+            first, s1_node, psi, thresholds, sigmas, compress
+        )
         inv = np.concatenate([est._inv_counts for est in members])
         inv_sel = inv[np.arange(len(psi))[:, None], buckets]
 
@@ -418,30 +651,31 @@ class PhaseEstimator:
         return self.thresholds[self.edges_u, w], self.thresholds[self.edges_v, w]
 
     # ------------------------------------------------------------------
-    def buckets_for_sigma_matrix(self, s1: int) -> np.ndarray:
+    def buckets_for_sigma_matrix(
+        self, s1: int, compress: bool = True
+    ) -> np.ndarray:
         """Bucket selected by every node for every σ; shape (n, 2^b).
 
         The per-node ``searchsorted`` is replaced by broadcast comparisons
         against the (n, 2^r+1) threshold matrix: the bucket index is the
         number of interior thresholds ≤ y (T[:, 0] = 0 always counts, and
-        T[:, 2^r] = 2^b never does since y < 2^b).  The loop below is over
-        the 2^r bucket columns — a constant — not over nodes.
+        T[:, 2^r] = 2^b never does since y < 2^b).  The loop is over the
+        2^r bucket columns — a constant — not over nodes; with ``compress``
+        it runs on nodes deduplicated by ``(ψ_v, thresholds(v))`` and the
+        integer rows are scattered back (bit-identical either way).
         """
-        g = self.family.g_values(s1, self.psi)
+        self.family.field._check(int(s1))
+        s1_node = np.full(len(self.psi), int(s1), dtype=np.int64)
         sigmas = np.arange(self.scale, dtype=np.int64)
-        n = len(self.psi)
-        y = g[:, None] ^ sigmas[None, :]
-        buckets = np.zeros((n, int(self.scale)), dtype=np.int64)
-        for w in range(1, self.num_buckets):
-            buckets += self.thresholds[:, w, None] <= y
-        np.clip(buckets, 0, self.num_buckets - 1, out=buckets)
-        return buckets
+        return _bucket_sigma_matrix(
+            self, s1_node, self.psi, self.thresholds, sigmas, compress
+        )
 
-    def exact_by_sigma(self, s1: int) -> np.ndarray:
+    def exact_by_sigma(self, s1: int, compress: bool = True) -> np.ndarray:
         """Exact Σ_e X_e for every additive seed σ once s1 is fixed."""
         if self.num_edges == 0:
             return np.zeros(int(self.scale), dtype=np.float64)
-        buckets = self.buckets_for_sigma_matrix(s1)
+        buckets = self.buckets_for_sigma_matrix(s1, compress=compress)
         n = len(self.psi)
         inv_sel = self._inv_counts[np.arange(n)[:, None], buckets]
         total = np.zeros(int(self.scale), dtype=np.float64)

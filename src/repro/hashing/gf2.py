@@ -12,9 +12,23 @@ is no dependence on a hand-maintained polynomial table being correct.
 Instances are cached per ``m``.
 
 Multiplication is provided both for Python ints and vectorized over numpy
-arrays (shift-and-add "Russian peasant" scheme: O(m) numpy operations per
-array multiply), which is what the derandomization engine uses to evaluate
-hash values for every seed candidate at once.
+arrays, which is what the derandomization engine uses to evaluate hash
+values for every seed candidate at once.  Two vectorized kernels exist:
+
+* **log/antilog tables** (default for ``m <= _LOG_TABLE_MAX_M``): discrete
+  logarithms with respect to a generator of the multiplicative group are
+  precomputed once per field (lazily, on first vector multiply), so an
+  array multiply is one integer add plus one table gather — ``exp[log[a] +
+  log[b]]`` with zero operands masked.  The antilog table is doubled in
+  length so the exponent sum never needs a ``mod (2^m - 1)`` reduction.
+* **shift-and-add "Russian peasant"** (``mul_vec_peasant``): O(m) masked
+  XOR passes per array multiply.  This is the fallback for large ``m``
+  (table memory is O(2^m)) and the reference the tables are property-tested
+  against.
+
+Both kernels are exact integer arithmetic over the same modulus, so they
+agree bit-for-bit on every operand pair — switching kernels can never
+change a hash value, a seed choice, or a coloring downstream.
 """
 
 from __future__ import annotations
@@ -24,6 +38,11 @@ from functools import lru_cache
 import numpy as np
 
 __all__ = ["GF2m", "poly_mul_mod", "is_irreducible", "find_irreducible"]
+
+#: Largest field degree for which the log/antilog tables are built by
+#: default.  The tables take O(2^m) int64 entries (24 MiB at m = 20);
+#: beyond this the peasant kernel is used.
+_LOG_TABLE_MAX_M = 20
 
 
 def _poly_mul(a: int, b: int) -> int:
@@ -124,7 +143,7 @@ def find_irreducible(m: int) -> int:
 class GF2m:
     """The field GF(2^m) with scalar and numpy-vectorized operations."""
 
-    def __init__(self, m: int):
+    def __init__(self, m: int, use_tables: bool | None = None):
         if not (1 <= m <= 48):
             raise ValueError(f"supported field degrees are 1..48, got {m}")
         self.m = m
@@ -133,6 +152,21 @@ class GF2m:
         # Reduction constant: x^m ≡ modulus - x^m (mod modulus), i.e. the low
         # m bits of the modulus.  Used by the vectorized multiply.
         self._reduction = self.modulus ^ (1 << m)
+        #: Whether vector multiplies go through the log/antilog tables.
+        #: ``None`` selects automatically by degree; both kernels are exact
+        #: integer arithmetic and agree bit-for-bit, so this is a speed
+        #: knob only (benchmarks flip it to time the reference kernel).
+        if use_tables and m > _LOG_TABLE_MAX_M:
+            raise ValueError(
+                f"log/antilog tables need O(2^m) memory and are only "
+                f"supported for m <= {_LOG_TABLE_MAX_M}, got m={m}"
+            )
+        self.use_tables = (
+            m <= _LOG_TABLE_MAX_M if use_tables is None else bool(use_tables)
+        )
+        self._log: np.ndarray | None = None
+        self._exp: np.ndarray | None = None
+        self.generator: int | None = None
 
     # ------------------------------------------------------------------
     def mul(self, a: int, b: int) -> int:
@@ -169,8 +203,81 @@ class GF2m:
             raise ValueError(f"{a} is not an element of GF(2^{self.m})")
 
     # ------------------------------------------------------------------
+    def _find_generator(self) -> int:
+        """Smallest generator of the multiplicative group GF(2^m)^*.
+
+        An element g generates the cyclic group of order 2^m - 1 iff
+        ``g^((2^m-1)/q) != 1`` for every prime divisor q of 2^m - 1.
+        """
+        group_order = self.order - 1
+        if group_order == 1:
+            return 1
+        factors = _prime_factors(group_order)
+        for g in range(2, self.order):
+            if all(self.pow(g, group_order // q) != 1 for q in factors):
+                return g
+        raise RuntimeError(
+            f"no generator found for GF(2^{self.m})"
+        )  # pragma: no cover
+
+    def _ensure_tables(self) -> None:
+        """Build the discrete-log / antilog tables (lazily, once).
+
+        ``exp[i] = g^i`` for i in [0, 2·(2^m - 1)) — doubled so the index
+        ``log[a] + log[b] <= 2·(2^m - 2)`` never needs a modular reduction —
+        and ``log[exp[i]] = i`` for i in [0, 2^m - 1).  The exp table is
+        filled by repeated block doubling (``exp[k:2k] = exp[:k] · g^k``)
+        using the peasant kernel, so the tables inherit its exactness.
+        """
+        if self._exp is not None:
+            return
+        # Re-checked here (not just in __init__) because `use_tables` is a
+        # plain mutable flag the benchmarks flip at runtime.
+        if self.m > _LOG_TABLE_MAX_M:
+            raise ValueError(
+                f"log/antilog tables need O(2^m) memory and are only "
+                f"supported for m <= {_LOG_TABLE_MAX_M}, got m={self.m}"
+            )
+        group_order = self.order - 1
+        g = self._find_generator()
+        exp = np.empty(max(2 * group_order, 1), dtype=np.int64)
+        exp[0] = 1
+        filled = 1
+        power = g  # g^filled, maintained across doublings
+        while filled < group_order:
+            take = min(filled, group_order - filled)
+            exp[filled:filled + take] = self.mul_vec_peasant(
+                np.full(1, power, dtype=np.int64), exp[:take]
+            )
+            filled += take
+            if filled < group_order:
+                power = self.mul(power, power)
+        exp[group_order:2 * group_order] = exp[:group_order]
+        log = np.zeros(self.order, dtype=np.int64)
+        log[exp[:group_order]] = np.arange(group_order, dtype=np.int64)
+        self.generator = g
+        self._exp = exp
+        self._log = log
+
     def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Element-wise field multiplication of numpy int64 arrays.
+
+        Dispatches to the log/antilog tables (one add + one gather) when
+        ``use_tables`` is set, else to :meth:`mul_vec_peasant`; the two
+        kernels agree bit-for-bit on every operand pair.
+        """
+        if not self.use_tables:
+            return self.mul_vec_peasant(a, b)
+        self._ensure_tables()
+        a = np.atleast_1d(np.asarray(a, dtype=np.int64)) % self.order
+        b = np.atleast_1d(np.asarray(b, dtype=np.int64)) % self.order
+        a, b = np.broadcast_arrays(a, b)
+        out = self._exp[self._log[a] + self._log[b]]
+        out[(a == 0) | (b == 0)] = 0
+        return out
+
+    def mul_vec_peasant(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Reference shift-and-add kernel (m masked XOR passes).
 
         Shift-and-add over the m bits of ``b`` with modular reduction folded
         into every shift of ``a``, so intermediate values stay below 2^m and
@@ -190,6 +297,24 @@ class GF2m:
                 shifted = (shifted << 1) & (self.order - 1)
                 shifted[overflow] ^= self._reduction
         return acc
+
+    def mul_outer(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Outer-product multiply: ``out[i, j] = a[i] ⊙ b[j]``.
+
+        On the table path the discrete logs are gathered on the 1-D
+        operands *before* broadcasting, so the (len(a) × len(b)) matrix
+        costs one broadcast add and one gather instead of two full-matrix
+        log lookups.
+        """
+        a = np.atleast_1d(np.asarray(a, dtype=np.int64)) % self.order
+        b = np.atleast_1d(np.asarray(b, dtype=np.int64)) % self.order
+        if not self.use_tables:
+            return self.mul_vec_peasant(a[:, None], b[None, :])
+        self._ensure_tables()
+        out = self._exp[self._log[a][:, None] + self._log[b][None, :]]
+        out[a == 0, :] = 0
+        out[:, b == 0] = 0
+        return out
 
     def mul_scalar_vec(self, scalar: int, values: np.ndarray) -> np.ndarray:
         """Multiply every array element by a fixed field scalar."""

@@ -90,10 +90,15 @@ class PairwiseFamily(HashFamily):
         return products >> (self.m - self.b)
 
     def g_values_many(self, s1_candidates: np.ndarray, xs: np.ndarray) -> np.ndarray:
-        """Matrix of ``top_b(s1 ⊙ x)`` with shape (len(s1_candidates), len(xs))."""
-        s1 = np.asarray(s1_candidates, dtype=np.int64)[:, None]
-        x = np.asarray(xs, dtype=np.int64)[None, :]
-        return self.field.mul_vec(s1, x) >> (self.m - self.b)
+        """Matrix of ``top_b(s1 ⊙ x)`` with shape (len(s1_candidates), len(xs)).
+
+        Uses the field's outer-product kernel so on the log-table path the
+        discrete logs are looked up on the 1-D operands, not the full
+        (candidates × inputs) matrix.
+        """
+        s1 = np.asarray(s1_candidates, dtype=np.int64)
+        x = np.asarray(xs, dtype=np.int64)
+        return self.field.mul_outer(s1, x) >> (self.m - self.b)
 
     def evaluate_reduced(self, s1: int, sigma: int, x: int) -> int:
         """Evaluate using the reduced ``(s1, σ)`` seed."""

@@ -86,6 +86,97 @@ class TestFieldAxioms:
             acc = field.mul(acc, a)
 
 
+class TestLogTables:
+    """Table kernel vs peasant kernel vs scalar reference, bit-for-bit."""
+
+    @given(
+        st.integers(min_value=1, max_value=13),
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(
+            st.integers(min_value=0, max_value=2**31), min_size=1, max_size=60
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_table_equals_peasant_equals_scalar(self, m, seed, values):
+        from repro.hashing.gf2 import poly_mul_mod
+
+        field = get_field(m)
+        rng = np.random.default_rng(seed)
+        a = np.array([v % field.order for v in values], dtype=np.int64)
+        b = rng.integers(0, field.order, size=len(a)).astype(np.int64)
+        table = field.mul_vec(a, b)
+        peasant = field.mul_vec_peasant(a, b)
+        assert np.array_equal(table, peasant)
+        for x, y, got in zip(a, b, table):
+            assert got == poly_mul_mod(int(x), int(y), field.modulus)
+
+    def test_mul_outer_matches_pairwise(self):
+        field = get_field(7)
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, field.order, size=30).astype(np.int64)
+        b = rng.integers(0, field.order, size=40).astype(np.int64)
+        outer = field.mul_outer(a, b)
+        assert outer.shape == (30, 40)
+        assert np.array_equal(outer, field.mul_vec_peasant(a[:, None], b[None, :]))
+
+    def test_zero_operands_masked(self):
+        field = get_field(6)
+        a = np.array([0, 5, 0, 9], dtype=np.int64)
+        b = np.array([7, 0, 0, 3], dtype=np.int64)
+        out = field.mul_vec(a, b)
+        assert out[0] == out[1] == out[2] == 0
+        assert out[3] == field.mul(9, 3)
+        outer = field.mul_outer(a, b)
+        assert (outer[0] == 0).all() and (outer[:, 1] == 0).all()
+
+    def test_generator_has_full_order(self):
+        for m in (2, 4, 6, 10):
+            field = GF2m(m)
+            field._ensure_tables()
+            g = field.generator
+            seen = set()
+            x = 1
+            for _ in range(field.order - 1):
+                seen.add(x)
+                x = field.mul(x, g)
+            assert x == 1 and len(seen) == field.order - 1
+
+    def test_fallback_boundary(self):
+        from repro.hashing.gf2 import _LOG_TABLE_MAX_M
+
+        below = GF2m(_LOG_TABLE_MAX_M - 15)  # small, cheap to build
+        assert below.use_tables
+        above = GF2m(_LOG_TABLE_MAX_M + 1)
+        assert not above.use_tables
+        # The large-m fallback still agrees with the scalar reference.
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, above.order, size=50).astype(np.int64)
+        b = rng.integers(0, above.order, size=50).astype(np.int64)
+        out = above.mul_vec(a, b)
+        for x, y, got in zip(a, b, out):
+            assert got == above.mul(int(x), int(y))
+
+    def test_table_opt_in_above_cap_fails_fast(self):
+        from repro.hashing.gf2 import _LOG_TABLE_MAX_M
+
+        with pytest.raises(ValueError):
+            GF2m(_LOG_TABLE_MAX_M + 10, use_tables=True)
+        # Flipping the mutable flag after construction must not bypass
+        # the memory cap either.
+        field = GF2m(_LOG_TABLE_MAX_M + 10)
+        field.use_tables = True
+        with pytest.raises(ValueError):
+            field.mul_vec(np.array([1], dtype=np.int64), np.array([1], dtype=np.int64))
+
+    def test_explicit_table_opt_out(self):
+        forced = GF2m(8, use_tables=False)
+        assert not forced.use_tables
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, forced.order, size=100).astype(np.int64)
+        b = rng.integers(0, forced.order, size=100).astype(np.int64)
+        assert np.array_equal(forced.mul_vec(a, b), get_field(8).mul_vec(a, b))
+
+
 class TestVectorized:
     @given(
         st.integers(min_value=2, max_value=12),

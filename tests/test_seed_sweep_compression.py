@@ -1,0 +1,203 @@
+"""Unique-column sweep compression: bit-for-bit against the reference path.
+
+The table/compression kernels (GF(2^m) log tables, unique-column seed
+sweeps, the reusable sweep workspace) are pure speedups: every float
+operation must see the same operands in the same order as the uncompressed
+per-edge evaluation, so all results — expectations, σ arrays, seed
+choices, conditional traces — are asserted *exactly* equal, not approx.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.derandomize import (
+    derandomize_phase_group,
+    fix_bits_greedily,
+    fix_bits_greedily_many,
+)
+from repro.core.potential import (
+    PhaseEstimator,
+    SeedSweepWorkspace,
+    exact_by_sigma_grouped,
+    expected_by_s1_grouped,
+)
+from repro.hashing.pairwise import PairwiseFamily
+
+
+def random_group(
+    num, buckets=2, seed=0, n=30, a=4, b=5, duplicate_heavy=True, edgeless=()
+):
+    """Random shared-seed estimator group; proper ψ by construction.
+
+    ``duplicate_heavy`` draws ψ and the bucket counts from tiny palettes so
+    many edges share a ``(ψ_u⊕ψ_v, thresholds)`` key — the regime the
+    compression targets; otherwise keys are mostly distinct.
+    """
+    rng = np.random.default_rng(seed)
+    family = PairwiseFamily(a, b)
+    colors = 5 if duplicate_heavy else (1 << a)
+    hi = 3 if duplicate_heavy else 30
+    members = []
+    for i in range(num):
+        psi = rng.integers(0, colors, size=n).astype(np.int64)
+        if i in edgeless:
+            eu = ev = np.empty(0, dtype=np.int64)
+        else:
+            u = rng.integers(0, n, size=n * 4)
+            v = rng.integers(0, n, size=n * 4)
+            keep = psi[u] != psi[v]
+            eu, ev = u[keep], v[keep]
+        counts = rng.integers(0, hi, size=(n, buckets)).astype(np.int64)
+        counts[:, 0] += 1
+        members.append(PhaseEstimator(family, psi, counts, eu, ev))
+    return members
+
+
+class TestExpectedSweepCompression:
+    @pytest.mark.parametrize("buckets", [2, 4])
+    @pytest.mark.parametrize("duplicate_heavy", [True, False])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_compressed_matches_uncompressed_bitwise(
+        self, buckets, duplicate_heavy, seed
+    ):
+        group = random_group(
+            3, buckets=buckets, seed=seed, duplicate_heavy=duplicate_heavy
+        )
+        s1s = np.arange(1 << group[0].family.m, dtype=np.int64)
+        compressed = expected_by_s1_grouped(group, s1s, compress=True)
+        reference = expected_by_s1_grouped(group, s1s, compress=False)
+        for got, want in zip(compressed, reference):
+            assert np.array_equal(got, want)
+
+    def test_matches_per_estimator_method(self):
+        group = random_group(2, seed=3)
+        s1s = np.arange(16, dtype=np.int64)
+        fused = expected_by_s1_grouped(group, s1s)
+        for est, row in zip(group, fused):
+            assert np.array_equal(est.expected_by_s1(s1s), row)
+
+    @pytest.mark.parametrize("edgeless", [(0,), (1,), (0, 1, 2)])
+    def test_edgeless_members(self, edgeless):
+        group = random_group(3, seed=4, edgeless=edgeless)
+        s1s = np.arange(8, dtype=np.int64)
+        compressed = expected_by_s1_grouped(group, s1s, compress=True)
+        reference = expected_by_s1_grouped(group, s1s, compress=False)
+        for j, (got, want) in enumerate(zip(compressed, reference)):
+            assert np.array_equal(got, want)
+            if j in edgeless:
+                assert got.sum() == 0.0
+
+    def test_workspace_reuse_across_chunks(self):
+        # One workspace driven chunk-by-chunk must reproduce the one-shot
+        # evaluation exactly — buffer reuse can't leak state across chunks.
+        group = random_group(3, buckets=4, seed=5)
+        order = 1 << group[0].family.m
+        workspace = SeedSweepWorkspace(group)
+        chunked = np.empty((3, order), dtype=np.float64)
+        for start in range(0, order, 7):  # deliberately ragged chunks
+            stop = min(order, start + 7)
+            workspace.expected_rows(
+                np.arange(start, stop, dtype=np.int64),
+                out=chunked[:, start:stop],
+            )
+        whole = SeedSweepWorkspace(group).expected_rows(
+            np.arange(order, dtype=np.int64)
+        )
+        assert np.array_equal(chunked, whole)
+
+    def test_empty_group(self):
+        assert expected_by_s1_grouped([], np.arange(4)) == []
+
+
+class TestSigmaSweepCompression:
+    @pytest.mark.parametrize("buckets", [2, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_grouped_sigma_bitwise(self, buckets, seed):
+        group = random_group(3, buckets=buckets, seed=seed)
+        s1s = [3, 7, 11]
+        compressed = exact_by_sigma_grouped(group, s1s, compress=True)
+        reference = exact_by_sigma_grouped(group, s1s, compress=False)
+        for got, want in zip(compressed, reference):
+            assert np.array_equal(got, want)
+
+    def test_sigma_matrix_rejects_out_of_range_s1(self):
+        (est,) = random_group(1, seed=6)
+        with pytest.raises(ValueError):
+            est.buckets_for_sigma_matrix(1 << est.family.m)
+        with pytest.raises(ValueError):
+            est.exact_by_sigma(-1)
+
+    def test_expected_rows_rejects_bad_out_buffer(self):
+        group = random_group(2, seed=6)
+        workspace = SeedSweepWorkspace(group)
+        candidates = np.arange(4, dtype=np.int64)
+        with pytest.raises(ValueError):
+            workspace.expected_rows(
+                candidates, out=np.empty((2, 4), dtype=np.int64)
+            )
+        with pytest.raises(ValueError):
+            workspace.expected_rows(candidates, out=np.empty((3, 4)))
+
+    def test_single_estimator_sigma_bitwise(self):
+        (est,) = random_group(1, seed=6)
+        for s1 in (0, 5, 13):
+            assert np.array_equal(
+                est.exact_by_sigma(s1, compress=True),
+                est.exact_by_sigma(s1, compress=False),
+            )
+            assert np.array_equal(
+                est.buckets_for_sigma_matrix(s1, compress=True),
+                est.buckets_for_sigma_matrix(s1, compress=False),
+            )
+
+
+class TestDerandomizeEquivalence:
+    @pytest.mark.parametrize("buckets", [2, 4])
+    def test_phase_group_choices_identical(self, buckets):
+        group = random_group(3, buckets=buckets, seed=7, edgeless=(1,))
+        compressed = derandomize_phase_group(group, compress=True)
+        reference = derandomize_phase_group(group, compress=False)
+        for got, want in zip(compressed, reference):
+            assert got.s1 == want.s1
+            assert got.sigma == want.sigma
+            assert got.initial_expectation == want.initial_expectation
+            assert got.final_value == want.final_value
+            assert got.conditional_trace == want.conditional_trace
+
+    def test_tables_off_reference_identical(self):
+        # The full pre-PR path: peasant GF multiplies + uncompressed sweep.
+        group = random_group(2, seed=8)
+        field = group[0].family.field
+        compressed = derandomize_phase_group(group)
+        field.use_tables = False
+        try:
+            reference = derandomize_phase_group(group, compress=False)
+        finally:
+            field.use_tables = True
+        for got, want in zip(compressed, reference):
+            assert (got.s1, got.sigma) == (want.s1, want.sigma)
+            assert got.conditional_trace == want.conditional_trace
+
+
+class TestTraceVectorization:
+    def test_traces_are_python_floats(self):
+        rng = np.random.default_rng(9)
+        lo, traces = fix_bits_greedily_many(rng.random((4, 16)))
+        assert len(traces) == 4
+        for trace in traces:
+            assert len(trace) == 4
+            assert all(type(t) is float for t in trace)
+
+    def test_matches_scalar_path(self):
+        rng = np.random.default_rng(10)
+        rows = rng.random((6, 32))
+        lo, traces = fix_bits_greedily_many(rows)
+        for j in range(6):
+            idx, trace = fix_bits_greedily(rows[j])
+            assert idx == int(lo[j])
+            assert trace == traces[j]
+
+    def test_single_entry_rows_have_empty_traces(self):
+        lo, traces = fix_bits_greedily_many(np.array([[2.0], [1.0]]))
+        assert list(lo) == [0, 0]
+        assert traces == [[], []]
