@@ -17,10 +17,22 @@ import pytest
 
 from repro.analysis.fitting import loglog_slope
 from repro.analysis.tables import Table
-from repro.core.instances import make_delta_plus_one_instance
-from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.instances import (
+    BatchedListColoringInstance,
+    make_delta_plus_one_instance,
+)
+from repro.core.list_coloring import solve_list_coloring_batch
 from repro.core.validation import verify_proper_list_coloring
 from repro.graphs import generators as gen
+
+
+def solve_series(instances):
+    """Solve a whole per-size sweep as ONE batched call (ROADMAP: batched
+    benchmark sweeps) — per-instance results are byte-identical to the
+    former sequential per-size loop, and the per-phase seed enumerations
+    fuse across sweep points sharing a seed space."""
+    batch = BatchedListColoringInstance.from_instances(instances)
+    return solve_list_coloring_batch(batch).results
 
 
 def theorem_bound(n, diameter, delta, color_space) -> float:
@@ -34,11 +46,13 @@ def theorem_bound(n, diameter, delta, color_space) -> float:
 
 
 def run_sweep():
+    sizes = (32, 64, 128, 256)
+    graphs = [gen.random_regular_graph(n, 4, seed=7) for n in sizes]
+    instances = [make_delta_plus_one_instance(graph) for graph in graphs]
     rows = []
-    for n in (32, 64, 128, 256):
-        graph = gen.random_regular_graph(n, 4, seed=7)
-        instance = make_delta_plus_one_instance(graph)
-        result = solve_list_coloring_congest(instance)
+    for n, graph, instance, result in zip(
+        sizes, graphs, instances, solve_series(instances)
+    ):
         verify_proper_list_coloring(instance, result.colors)
         diameter = graph.diameter_upper_bound()
         bound = theorem_bound(n, diameter, 4, instance.color_space)
@@ -80,13 +94,14 @@ def test_t1_diameter_factor(benchmark):
     """F3 companion: at fixed n, rounds scale (near-)linearly with D."""
 
     def run():
-        rows = []
-        for n in (16, 32, 64, 128):
-            graph = gen.cycle_graph(n)  # D = n/2
-            instance = make_delta_plus_one_instance(graph)
-            result = solve_list_coloring_congest(instance)
-            rows.append((n // 2, result.rounds.total))
-        return rows
+        sizes = (16, 32, 64, 128)
+        instances = [
+            make_delta_plus_one_instance(gen.cycle_graph(n)) for n in sizes
+        ]  # D = n/2
+        return [
+            (n // 2, result.rounds.total)
+            for n, result in zip(sizes, solve_series(instances))
+        ]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     table = Table("T1b — rounds vs diameter (cycles)", ["D", "rounds"])

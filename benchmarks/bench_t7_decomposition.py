@@ -13,12 +13,26 @@ import pytest
 
 from repro.analysis.fitting import loglog_slope
 from repro.analysis.tables import Table
-from repro.core.instances import make_delta_plus_one_instance
-from repro.core.list_coloring import solve_list_coloring_congest
+from repro.core.instances import (
+    BatchedListColoringInstance,
+    make_delta_plus_one_instance,
+)
+from repro.core.list_coloring import solve_list_coloring_batch
 from repro.core.validation import verify_proper_list_coloring
 from repro.decomposition.decomposed_coloring import solve_list_coloring_polylog
 from repro.decomposition.rozhon_ghaffari import decompose
 from repro.graphs import generators as gen
+
+
+def congest_series(sizes):
+    """Theorem 1.1 on the cycle sweep as ONE batched call per series
+    (ROADMAP: batched benchmark sweeps; per-size results byte-identical to
+    the former sequential loop)."""
+    instances = [make_delta_plus_one_instance(gen.cycle_graph(n)) for n in sizes]
+    results = solve_list_coloring_batch(
+        BatchedListColoringInstance.from_instances(instances)
+    ).results
+    return instances, results
 
 
 def run_quality():
@@ -68,10 +82,10 @@ def test_t7_polylog_vs_diameter(benchmark):
     """F3: rounds vs n on cycles — Theorem 1.1 rides D, Corollary 1.2 doesn't."""
 
     def run():
+        sizes = (32, 64, 128, 256)
+        instances, congest_results = congest_series(sizes)
         rows = []
-        for n in (32, 64, 128, 256):
-            instance = make_delta_plus_one_instance(gen.cycle_graph(n))
-            congest = solve_list_coloring_congest(instance)
+        for n, instance, congest in zip(sizes, instances, congest_results):
             polylog = solve_list_coloring_polylog(instance)
             verify_proper_list_coloring(instance, polylog.colors)
             rows.append((n, n // 2, congest.rounds.total, polylog.rounds.total))
@@ -98,12 +112,12 @@ def test_t7_crossover(benchmark):
     """Where Corollary 1.2 starts beating Theorem 1.1 outright."""
 
     def run():
+        sizes = (32, 64, 128, 256)
+        instances, congest_results = congest_series(sizes)
         rows = []
-        for n in (32, 64, 128, 256):
-            instance = make_delta_plus_one_instance(gen.cycle_graph(n))
-            congest = solve_list_coloring_congest(instance).rounds.total
+        for n, instance, congest in zip(sizes, instances, congest_results):
             polylog = solve_list_coloring_polylog(instance).rounds.total
-            rows.append((n, congest, polylog, polylog < congest))
+            rows.append((n, congest.rounds.total, polylog, polylog < congest.rounds.total))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -20,6 +20,12 @@ Solvers
     (Theorem 1.3),
     :func:`~repro.mpc.coloring.solve_list_coloring_mpc`
     (Theorems 1.4/1.5)
+Backends
+    :class:`~repro.parallel.backend.SerialBackend` (default) and
+    :class:`~repro.parallel.backend.ProcessBackend` (sharded worker pool,
+    byte-identical outputs), resolved by
+    :func:`~repro.parallel.backend.resolve_backend` and accepted by the
+    ``backend=`` parameter of the batched solvers and engines.
 Validation
     :func:`~repro.core.validation.verify_proper_list_coloring`
 Graphs
@@ -44,17 +50,27 @@ from repro.core.validation import (
     verify_proper_list_coloring,
 )
 from repro.graphs.graph import Graph
+from repro.parallel import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    resolve_backend,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
     "Graph",
+    "ProcessBackend",
+    "SerialBackend",
     "BatchedListColoringInstance",
     "ListColoringInstance",
     "BatchColoringResult",
     "ColoringResult",
     "make_delta_plus_one_instance",
     "make_random_lists_instance",
+    "resolve_backend",
     "solve_list_coloring_batch",
     "solve_list_coloring_congest",
     "verify_proper_coloring",

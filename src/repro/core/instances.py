@@ -118,6 +118,12 @@ class ColorListStore:
     def copy(self) -> "ColorListStore":
         return ColorListStore(self.values.copy(), self.offsets.copy())
 
+    def __reduce__(self):
+        """Pickle as the two flat arrays (the worker-dispatch path of the
+        process backend); ``__init__`` re-applies the read-only flags on the
+        receiving side, which default array pickling would drop."""
+        return (ColorListStore, (self.values, self.offsets))
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -332,6 +338,47 @@ class ListColoringInstance:
         )
 
 
+def _concatenate_blocks(graphs, stores):
+    """Union graph + flat store from per-block ``(graph, store)`` pairs.
+
+    Block j's node ids shift by the cumulative node count; each block's
+    canonical edge arrays land in a contiguous stretch of the union arrays
+    (so the union stays canonical and takes the ``Graph.from_arrays`` fast
+    path), and the list offsets are re-based the same way.  The shared
+    kernel of :meth:`BatchedListColoringInstance.from_instances` (blocks =
+    instances) and :meth:`BatchedListColoringInstance.merge` (blocks =
+    shards); returns ``(graph, lists, node_base)`` with ``node_base`` the
+    per-block node offsets (length ``len(graphs) + 1``).
+    """
+    node_base = np.zeros(len(graphs) + 1, dtype=np.int64)
+    for j, graph in enumerate(graphs):
+        node_base[j + 1] = node_base[j] + graph.n
+    total_n = int(node_base[-1])
+    if graphs:
+        edges_u = np.concatenate(
+            [graph.edges_u + node_base[j] for j, graph in enumerate(graphs)]
+        )
+        edges_v = np.concatenate(
+            [graph.edges_v + node_base[j] for j, graph in enumerate(graphs)]
+        )
+        values = np.concatenate([store.values for store in stores])
+    else:
+        edges_u = np.empty(0, dtype=np.int64)
+        edges_v = np.empty(0, dtype=np.int64)
+        values = np.empty(0, dtype=np.int64)
+    list_offsets = np.zeros(total_n + 1, dtype=np.int64)
+    base = 0
+    for j, store in enumerate(stores):
+        pos = int(node_base[j])
+        list_offsets[pos + 1:pos + store.n + 1] = store.offsets[1:] + base
+        base += store.total
+    return (
+        Graph.from_arrays(total_n, edges_u, edges_v),
+        ColorListStore(values, list_offsets),
+        node_base,
+    )
+
+
 @dataclass
 class BatchedListColoringInstance:
     """A batch of vertex-disjoint list-coloring instances as one array program.
@@ -388,39 +435,17 @@ class BatchedListColoringInstance:
         ``Graph.from_arrays`` fast path.
         """
         instances = list(instances)
-        k = len(instances)
-        offsets = np.zeros(k + 1, dtype=np.int64)
-        for i, inst in enumerate(instances):
-            offsets[i + 1] = offsets[i] + inst.graph.n
-        total_n = int(offsets[-1])
-        if k:
-            edges_u = np.concatenate(
-                [inst.graph.edges_u + offsets[i] for i, inst in enumerate(instances)]
-            )
-            edges_v = np.concatenate(
-                [inst.graph.edges_v + offsets[i] for i, inst in enumerate(instances)]
-            )
-            values = np.concatenate([inst.lists.values for inst in instances])
-            list_offsets = np.zeros(total_n + 1, dtype=np.int64)
-            pos = 0
-            base = 0
-            for inst in instances:
-                n_i = inst.graph.n
-                list_offsets[pos + 1:pos + n_i + 1] = inst.lists.offsets[1:] + base
-                base += inst.lists.total
-                pos += n_i
-        else:
-            edges_u = np.empty(0, dtype=np.int64)
-            edges_v = np.empty(0, dtype=np.int64)
-            values = np.empty(0, dtype=np.int64)
-            list_offsets = np.zeros(1, dtype=np.int64)
+        graph, lists, node_base = _concatenate_blocks(
+            [inst.graph for inst in instances],
+            [inst.lists for inst in instances],
+        )
         return cls(
-            graph=Graph.from_arrays(total_n, edges_u, edges_v),
-            instance_offsets=offsets,
+            graph=graph,
+            instance_offsets=node_base,
             color_spaces=np.array(
                 [inst.color_space for inst in instances], dtype=np.int64
             ),
-            lists=ColorListStore(values, list_offsets),
+            lists=lists,
             instance_graphs=[inst.graph for inst in instances],
         )
 
@@ -436,6 +461,91 @@ class BatchedListColoringInstance:
             )
             for i in range(self.num_instances)
         ]
+
+    def shard(self, bounds) -> list:
+        """Slice the batch into contiguous instance-range shards.
+
+        ``bounds`` is a non-decreasing sequence of instance indices starting
+        at 0 and ending at ``num_instances``; shard j covers instances
+        ``[bounds[j], bounds[j+1])``.  Every union array (edges, color
+        spaces, list values/offsets) is sliced, not recomputed — the edge
+        arrays are lexsorted so each block is one ``np.searchsorted`` range
+        and shard graphs go through the trusted ``Graph.from_arrays`` path.
+        :meth:`merge` is the exact inverse.
+        """
+        bounds = np.asarray(bounds, dtype=np.int64)
+        if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != self.num_instances:
+            raise ValueError(
+                f"shard bounds must run from 0 to {self.num_instances}, "
+                f"got {bounds.tolist()}"
+            )
+        if (np.diff(bounds) < 0).any():
+            raise ValueError("shard bounds must be non-decreasing")
+        shards = []
+        for lo_i, hi_i in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            lo = int(self.instance_offsets[lo_i])
+            hi = int(self.instance_offsets[hi_i])
+            start = int(np.searchsorted(self.graph.edges_u, lo, side="left"))
+            stop = int(np.searchsorted(self.graph.edges_u, hi, side="left"))
+            vlo = int(self.lists.offsets[lo])
+            vhi = int(self.lists.offsets[hi])
+            shards.append(
+                BatchedListColoringInstance(
+                    graph=Graph.from_arrays(
+                        hi - lo,
+                        self.graph.edges_u[start:stop] - lo,
+                        self.graph.edges_v[start:stop] - lo,
+                    ),
+                    instance_offsets=self.instance_offsets[lo_i:hi_i + 1] - lo,
+                    color_spaces=self.color_spaces[lo_i:hi_i],
+                    lists=ColorListStore(
+                        self.lists.values[vlo:vhi],
+                        self.lists.offsets[lo:hi + 1] - vlo,
+                    ),
+                    instance_graphs=(
+                        None
+                        if self.instance_graphs is None
+                        else self.instance_graphs[lo_i:hi_i]
+                    ),
+                )
+            )
+        return shards
+
+    @classmethod
+    def merge(cls, shards) -> "BatchedListColoringInstance":
+        """Concatenate shard batches back into one batch (the inverse of
+        :meth:`shard`; also accepts any vertex-disjoint batches).  Instance
+        order is shard order; node ids shift by the cumulative node counts,
+        exactly like :meth:`from_instances` at the batch level."""
+        shards = list(shards)
+        graph, lists, node_base = _concatenate_blocks(
+            [shard.graph for shard in shards],
+            [shard.lists for shard in shards],
+        )
+        instance_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64)]
+            + [
+                shard.instance_offsets[1:] + node_base[j]
+                for j, shard in enumerate(shards)
+            ]
+        )
+        color_spaces = (
+            np.concatenate([shard.color_spaces for shard in shards])
+            if shards
+            else np.empty(0, dtype=np.int64)
+        )
+        cached = [shard.instance_graphs for shard in shards]
+        return cls(
+            graph=graph,
+            instance_offsets=instance_offsets,
+            color_spaces=color_spaces,
+            lists=lists,
+            instance_graphs=(
+                None
+                if any(c is None for c in cached)
+                else [g for c in cached for g in c]
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Accessors

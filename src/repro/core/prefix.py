@@ -49,7 +49,17 @@ __all__ = [
     "PhaseRecord",
     "extend_prefixes",
     "extend_prefixes_batch",
+    "full_width_schedule",
 ]
+
+
+def full_width_schedule(phase_index: int, bits_left: int) -> int:
+    """Fix the whole remaining candidate color in one phase (Lemma 4.2).
+
+    A module-level named schedule (rather than a lambda at the call site)
+    so it survives pickling into the process backend's workers.
+    """
+    return bits_left
 
 
 @dataclass

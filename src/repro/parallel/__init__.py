@@ -1,0 +1,34 @@
+"""Sharded parallel execution backends for the batched solver core.
+
+The batch ``(values, offsets, instance_offsets)`` array program shards
+along its instance partition; :class:`ProcessBackend` dispatches shard
+solves to a worker pool and merges every artifact — colorings, seed
+choices, round ledgers, potential traces — back byte-identically to the
+serial path (:class:`SerialBackend`, the default).
+"""
+
+from repro.parallel.backend import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    backend_scope,
+    resolve_backend,
+)
+from repro.parallel.sharding import (
+    fusion_signatures,
+    merge_solve_results,
+    plan_shard_bounds,
+    replay_ledger,
+)
+
+__all__ = [
+    "Backend",
+    "ProcessBackend",
+    "SerialBackend",
+    "backend_scope",
+    "fusion_signatures",
+    "merge_solve_results",
+    "plan_shard_bounds",
+    "replay_ledger",
+    "resolve_backend",
+]

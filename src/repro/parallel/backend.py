@@ -1,0 +1,346 @@
+"""Execution backends for the batched Theorem 1.1 solver.
+
+A backend decides *where* the array program of
+:func:`~repro.core.list_coloring.solve_list_coloring_batch` runs:
+
+* :class:`SerialBackend` — in-process, the default; exactly the existing
+  single-call path.
+* :class:`ProcessBackend` — shards the batch along ``instance_offsets``
+  (:func:`~repro.parallel.sharding.plan_shard_bounds`, fusion runs kept
+  whole), dispatches shard solves to a ``ProcessPoolExecutor`` and merges
+  the per-shard results back into the flat batch layout.  Because every
+  per-instance output of the batched engine is byte-identical to a
+  batch-of-one solve, the merged colorings, seed choices, round ledgers
+  and potential traces are byte-identical to the serial backend — the
+  contract the golden suite and ``benchmarks/bench_parallel_backend.py``
+  pin.
+
+Both backends expose the same two operations — the full solve and the
+single Lemma 2.1 pass — which is all the decomposition and MPC engines
+need to route their class/residual batches through a pluggable executor.
+
+Callables threaded through a :class:`ProcessBackend` (``r_schedule``) must
+be picklable, i.e. module-level functions, and randomized runs
+(``rng is not None``) are rejected: the serial path draws per-phase seeds
+in global instance order, which sharding would reorder.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.parallel.sharding import (
+    merge_solve_results,
+    plan_shard_bounds,
+    replay_ledger,
+)
+from repro.parallel.worker import partial_pass_shard, solve_shard
+
+__all__ = [
+    "Backend",
+    "ProcessBackend",
+    "SerialBackend",
+    "backend_scope",
+    "resolve_backend",
+]
+
+
+class Backend:
+    """Protocol for batched-solver executors.
+
+    Subclasses implement :meth:`solve_batch` (the full Theorem 1.1 loop)
+    and :meth:`partial_pass_batch` (one Lemma 2.1 pass) with the exact
+    signatures of their serial counterparts — same defaults, same return
+    types, byte-identical outputs.
+    """
+
+    name = "abstract"
+
+    def solve_batch(self, batch, **kwargs):
+        raise NotImplementedError
+
+    def partial_pass_batch(self, batch, psis, nums_input_colors, **kwargs):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (no-op for in-process backends)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(Backend):
+    """The in-process path: delegate straight to the batched engine."""
+
+    name = "serial"
+
+    def solve_batch(self, batch, **kwargs):
+        from repro.core.list_coloring import solve_list_coloring_batch
+
+        return solve_list_coloring_batch(batch, **kwargs)
+
+    def partial_pass_batch(self, batch, psis, nums_input_colors, **kwargs):
+        from repro.core.partial_coloring import partial_coloring_pass_batch
+
+        return partial_coloring_pass_batch(
+            batch, psis, nums_input_colors, **kwargs
+        )
+
+
+def _slice(seq, lo: int, hi: int):
+    return None if seq is None else list(seq[lo:hi])
+
+
+class ProcessBackend(Backend):
+    """Sharded multiprocess executor for the batched solver.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    start_method:
+        ``fork`` / ``forkserver`` / ``spawn``; defaults to ``fork`` where
+        available (zero-copy page sharing of the parent's arrays until
+        first write), else the platform default.
+    max_shards:
+        Upper bound on shards per dispatch; defaults to ``workers``.
+    keep_fusion_runs:
+        Keep contiguous equal-signature fusion runs inside one shard (see
+        :func:`~repro.parallel.sharding.plan_shard_bounds`).  Disabling it
+        trades shared-seed sweep fusion for finer load balancing; outputs
+        are byte-identical either way.
+
+    The pool is created lazily on first dispatch and reused across calls
+    (one backend can serve every color class of a decomposition, say);
+    :meth:`close` — or use as a context manager — shuts it down.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        start_method: str | None = None,
+        max_shards: int | None = None,
+        keep_fusion_runs: bool = True,
+    ):
+        import multiprocessing as mp
+
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.workers = int(workers)
+        self.start_method = start_method
+        self.max_shards = self.workers if max_shards is None else int(max_shards)
+        self.keep_fusion_runs = keep_fusion_runs
+        self._executor: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing as mp
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=mp.get_context(self.start_method),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _plan(self, batch):
+        """Shard bounds for ``batch`` (>= 1 shard; cutting is deferred so
+        single-shard plans never pay the array slicing)."""
+        return plan_shard_bounds(
+            batch,
+            min(self.max_shards, batch.num_instances),
+            keep_fusion_runs=self.keep_fusion_runs,
+        )
+
+    # ------------------------------------------------------------------
+    def solve_batch(
+        self,
+        batch,
+        r_schedule=None,
+        strict: bool = True,
+        rng=None,
+        verify: bool = True,
+        comm_depths=None,
+        input_colorings=None,
+        nums_input_colors=None,
+    ):
+        from repro.core.list_coloring import (
+            BatchColoringResult,
+            solve_list_coloring_batch,
+        )
+
+        if rng is not None:
+            raise ValueError(
+                "the process backend requires derandomized solves "
+                "(rng draws are ordered across the whole batch)"
+            )
+        if batch.num_instances == 0:
+            return BatchColoringResult()
+        bounds = self._plan(batch)
+        if len(bounds) <= 2:  # one shard: run inline, skip slicing and IPC
+            return solve_list_coloring_batch(
+                batch,
+                r_schedule=r_schedule,
+                strict=strict,
+                verify=verify,
+                comm_depths=comm_depths,
+                input_colorings=input_colorings,
+                nums_input_colors=nums_input_colors,
+            )
+        payloads = [
+            (
+                shard,
+                dict(
+                    r_schedule=r_schedule,
+                    strict=strict,
+                    verify=verify,
+                    comm_depths=_slice(comm_depths, lo, hi),
+                    input_colorings=_slice(input_colorings, lo, hi),
+                    nums_input_colors=_slice(nums_input_colors, lo, hi),
+                ),
+            )
+            for shard, lo, hi in zip(
+                batch.shard(bounds), bounds[:-1].tolist(), bounds[1:].tolist()
+            )
+        ]
+        return merge_solve_results(self._pool().map(solve_shard, payloads))
+
+    # ------------------------------------------------------------------
+    def partial_pass_batch(
+        self,
+        batch,
+        psis,
+        nums_input_colors,
+        comm_depths=None,
+        ledgers=None,
+        r_schedule=None,
+        avoid_mis: bool = False,
+        strict: bool = True,
+        rng=None,
+    ):
+        from repro.core.partial_coloring import partial_coloring_pass_batch
+
+        if rng is not None:
+            raise ValueError(
+                "the process backend requires derandomized solves "
+                "(rng draws are ordered across the whole batch)"
+            )
+        k = batch.num_instances
+        if k == 0:
+            return []
+        bounds = self._plan(batch)
+        if len(bounds) <= 2:  # one shard: run inline, skip slicing and IPC
+            return partial_coloring_pass_batch(
+                batch,
+                psis,
+                nums_input_colors,
+                comm_depths=comm_depths,
+                ledgers=ledgers,
+                r_schedule=r_schedule,
+                avoid_mis=avoid_mis,
+                strict=strict,
+            )
+        psis = np.asarray(psis, dtype=np.int64)
+        payloads = []
+        for shard, lo, hi in zip(
+            batch.shard(bounds), bounds[:-1].tolist(), bounds[1:].tolist()
+        ):
+            node_lo = int(batch.instance_offsets[lo])
+            node_hi = int(batch.instance_offsets[hi])
+            payloads.append(
+                (
+                    shard,
+                    psis[node_lo:node_hi],
+                    list(nums_input_colors[lo:hi]),
+                    [
+                        ledgers is not None and ledgers[i] is not None
+                        for i in range(lo, hi)
+                    ],
+                    dict(
+                        comm_depths=_slice(comm_depths, lo, hi),
+                        r_schedule=r_schedule,
+                        avoid_mis=avoid_mis,
+                        strict=strict,
+                    ),
+                )
+            )
+        outcomes = []
+        shard_outputs = list(self._pool().map(partial_pass_shard, payloads))
+        for lo, (shard_outcomes, shard_ledgers) in zip(
+            bounds[:-1].tolist(), shard_outputs
+        ):
+            outcomes.extend(shard_outcomes)
+            for offset, worker_ledger in enumerate(shard_ledgers):
+                if worker_ledger is not None and ledgers is not None:
+                    target = ledgers[lo + offset]
+                    if target is not None:
+                        replay_ledger(target, worker_ledger)
+        return outcomes
+
+
+class _BackendScope:
+    """Resolve a backend spec; on exit, close the backend only if it was
+    constructed here (i.e. the spec was a name).  Caller-owned
+    :class:`Backend` instances pass through untouched, so a shared pool
+    survives across calls."""
+
+    def __init__(self, spec, workers: int | None = None):
+        self._spec = spec
+        self._workers = workers
+        self._backend: Backend | None = None
+
+    def __enter__(self) -> Backend:
+        self._backend = resolve_backend(self._spec, self._workers)
+        return self._backend
+
+    def __exit__(self, *exc) -> None:
+        if self._backend is not None and self._backend is not self._spec:
+            self._backend.close()
+
+
+def backend_scope(spec, workers: int | None = None) -> _BackendScope:
+    """Context manager around :func:`resolve_backend` that closes backends
+    it created (names → fresh pools) and leaves caller-owned instances
+    open.  The dispatch points use this so ``backend="process"`` cannot
+    leak worker pools to nondeterministic GC."""
+    return _BackendScope(spec, workers)
+
+
+def resolve_backend(backend, workers: int | None = None) -> Backend:
+    """Coerce ``None`` / a name / a :class:`Backend` into a backend.
+
+    ``None`` and ``"serial"`` give the in-process default; ``"process"``
+    builds a :class:`ProcessBackend` (with ``workers`` if given).  Backend
+    instances pass through untouched, so callers can share one pool.
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        if backend == "serial":
+            return SerialBackend()
+        if backend == "process":
+            return ProcessBackend(workers=workers)
+        raise ValueError(
+            f"unknown backend {backend!r} (expected 'serial' or 'process')"
+        )
+    raise TypeError(f"backend must be None, a name, or a Backend, got {backend!r}")

@@ -1,0 +1,127 @@
+"""Shard planning and result merging for the parallel batch backend.
+
+A :class:`~repro.core.instances.BatchedListColoringInstance` is one array
+program over ``(values, offsets, instance_offsets)``; the instance
+partition is its natural sharding boundary (ROADMAP: per-group seed sweeps
+are embarrassingly parallel, per-instance bit fixing is already
+segmented).  Every per-instance output of the batched solver is
+byte-identical to a batch-of-one solve — the pinned contract of the
+shared-seed fusion engine — so *any* contiguous partition of the instance
+range merges back byte-identically.  The planner therefore only optimizes
+throughput: shard boundaries prefer the boundaries of fusion *runs* —
+maximal stretches of instances sharing a static seed-space signature — so
+the shared-seed ``(a, b, 2^r)`` sweep fusion inside each shard is
+preserved rather than split across workers.
+
+The signature is a static proxy: the true per-phase fusion key
+``(a, b, 2^r)`` depends on Linial's input-coloring size, which is only
+known mid-solve, but instances agreeing on ``(⌈log C⌉, Δ)`` agree on the
+accuracy bits ``b`` of every phase and (for like-sized graphs) on the
+ψ-domain bits ``a`` as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instances import BatchedListColoringInstance, ceil_log2
+
+__all__ = [
+    "fusion_signatures",
+    "merge_solve_results",
+    "plan_shard_bounds",
+    "replay_ledger",
+]
+
+
+def fusion_signatures(batch: BatchedListColoringInstance) -> list:
+    """Static per-instance seed-space signature ``(⌈log C⌉, Δ_block)``.
+
+    Instances with equal signatures land in the same shared-seed fusion
+    group in (almost) every phase; the planner avoids cutting between them.
+    """
+    k = batch.num_instances
+    sizes = batch.instance_sizes
+    deltas = np.zeros(k, dtype=np.int64)
+    valid = np.flatnonzero(sizes > 0)
+    if len(valid):
+        # reduceat over the valid block starts: blocks between consecutive
+        # valid starts are empty (equal offsets), so each segment covers
+        # exactly one non-empty block's nodes.
+        starts = batch.instance_offsets[:-1][valid]
+        deltas[valid] = np.maximum.reduceat(batch.graph.degrees, starts)
+    return [
+        (max(1, ceil_log2(int(batch.color_spaces[i]))), int(deltas[i]))
+        for i in range(k)
+    ]
+
+
+def plan_shard_bounds(
+    batch: BatchedListColoringInstance,
+    num_shards: int,
+    keep_fusion_runs: bool = True,
+) -> np.ndarray:
+    """Contiguous shard bounds along ``instance_offsets``.
+
+    Returns a non-decreasing int64 array ``[0, .., num_instances]`` with at
+    most ``num_shards`` gaps, balancing the per-shard node weight.  With
+    ``keep_fusion_runs`` (the default), a boundary is only placed where the
+    fusion signature changes, so contiguous shared-seed groups stay whole —
+    a homogeneous batch then degrades to fewer (possibly one) shards rather
+    than splitting its fused sweep.
+    """
+    k = batch.num_instances
+    num_shards = max(1, int(num_shards))
+    if k == 0:
+        return np.array([0, 0], dtype=np.int64)
+    weights = np.maximum(1, batch.instance_sizes)
+    cum = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(weights, out=cum[1:])
+    total = int(cum[-1])
+
+    allowed = np.ones(k + 1, dtype=bool)
+    if keep_fusion_runs and k > 1:
+        sig = fusion_signatures(batch)
+        for i in range(1, k):
+            allowed[i] = sig[i] != sig[i - 1]
+
+    bounds = [0]
+    candidates = np.flatnonzero(allowed)
+    for j in range(1, num_shards):
+        ideal = total * j / num_shards
+        open_cuts = candidates[(candidates > bounds[-1]) & (candidates < k)]
+        if not len(open_cuts):
+            break
+        pick = int(open_cuts[np.argmin(np.abs(cum[open_cuts] - ideal))])
+        # Never overshoot so far that later shards starve: accept the cut
+        # closest to the ideal boundary; monotonicity is enforced above.
+        bounds.append(pick)
+    bounds.append(k)
+    return np.array(bounds, dtype=np.int64)
+
+
+def merge_solve_results(shard_results) -> "BatchColoringResult":
+    """Concatenate per-shard :class:`BatchColoringResult`\\ s in shard order.
+
+    Instance order within shards and shard order together restore the
+    original batch order; every per-instance artifact (colors, ledger,
+    pass statistics, potential traces) is carried through untouched, so the
+    merge is byte-identical to the serial solve by the batch contract.
+    """
+    from repro.core.list_coloring import BatchColoringResult
+
+    merged = BatchColoringResult()
+    for shard_result in shard_results:
+        merged.results.extend(shard_result.results)
+    return merged
+
+
+def replay_ledger(target, source) -> None:
+    """Append every charge event of ``source`` onto ``target`` in order.
+
+    Worker processes charge fresh ledgers; replaying their event streams
+    into the caller's ledgers reproduces the exact per-event history (and
+    hence category totals) of a serial in-process pass.
+    """
+    for category, rounds in source.events:
+        target.charge(category, rounds)

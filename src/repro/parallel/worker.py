@@ -1,0 +1,40 @@
+"""Worker-process entry points for the process backend.
+
+These must be importable module-level functions: under the ``spawn`` and
+``forkserver`` start methods the pool pickles the callable by qualified
+name and re-imports :mod:`repro` inside the worker.  Payloads are plain
+tuples of picklable pieces — the shard batch itself (whose
+:class:`~repro.core.instances.ColorListStore` pickles as its two flat
+arrays) plus the per-shard keyword slices.
+"""
+
+from __future__ import annotations
+
+from repro.engine.rounds import RoundLedger
+
+__all__ = ["solve_shard", "partial_pass_shard"]
+
+
+def solve_shard(payload):
+    """Run the full Theorem 1.1 loop on one shard (serially, in-process)."""
+    shard, kwargs = payload
+    from repro.core.list_coloring import solve_list_coloring_batch
+
+    return solve_list_coloring_batch(shard, **kwargs)
+
+
+def partial_pass_shard(payload):
+    """One Lemma 2.1 pass on one shard.
+
+    ``ledger_mask[i]`` says whether the caller holds a ledger for shard
+    instance i; a fresh ledger is charged here and shipped back so the
+    dispatcher can replay its events into the caller's ledger.
+    """
+    shard, psis, nums_input_colors, ledger_mask, kwargs = payload
+    from repro.core.partial_coloring import partial_coloring_pass_batch
+
+    ledgers = [RoundLedger() if has else None for has in ledger_mask]
+    outcomes = partial_coloring_pass_batch(
+        shard, psis, nums_input_colors, ledgers=ledgers, **kwargs
+    )
+    return outcomes, ledgers

@@ -12,6 +12,12 @@ batch, empty member instance, a single instance).
 import numpy as np
 import pytest
 
+from equivalence import (
+    assert_coloring_results_equal,
+    assert_outcomes_equal,
+    assert_prefix_results_equal,
+    assert_seed_choices_equal,
+)
 from repro.core.derandomize import derandomize_phase, derandomize_phase_group
 from repro.core.instances import (
     BatchedListColoringInstance,
@@ -88,8 +94,7 @@ class TestBatchRoundTrips:
         batch = BatchedListColoringInstance.from_instances([instance])
         sequential = solve_list_coloring_congest(instance)
         batched = solve_list_coloring_batch(batch).results[0]
-        assert np.array_equal(sequential.colors, batched.colors)
-        assert sequential.rounds.breakdown() == batched.rounds.breakdown()
+        assert_coloring_results_equal(sequential, batched)
 
     def test_batch_with_empty_member(self):
         empty = ListColoringInstance(
@@ -102,8 +107,7 @@ class TestBatchRoundTrips:
         assert result.results[0].rounds.total == 0
         assert result.results[2].colors.size == 0
         reference = solve_list_coloring_congest(full)
-        assert np.array_equal(result.results[1].colors, reference.colors)
-        assert result.results[1].rounds.breakdown() == reference.rounds.breakdown()
+        assert_coloring_results_equal(reference, result.results[1], "full")
 
     def test_rejects_cross_instance_edges(self):
         with pytest.raises(ValueError, match="crosses instance blocks"):
@@ -139,19 +143,8 @@ class TestBatchedEquivalence:
         ]
         batch = BatchedListColoringInstance.from_instances(instances)
         batched = extend_prefixes_batch(batch, np.concatenate(psis), nums)
-        for seq, bat in zip(sequential, batched):
-            assert np.array_equal(seq.candidates, bat.candidates)
-            assert np.array_equal(seq.conflict_degrees, bat.conflict_degrees)
-            assert np.array_equal(seq.conflict_edges_u, bat.conflict_edges_u)
-            assert np.array_equal(seq.conflict_edges_v, bat.conflict_edges_v)
-            assert seq.potential_trace == bat.potential_trace  # float-exact
-            assert seq.total_seed_bits == bat.total_seed_bits
-            for ps, pb in zip(seq.phases, bat.phases):
-                assert (ps.r, ps.b, ps.seed_bits) == (pb.r, pb.b, pb.seed_bits)
-                assert ps.seed.s1 == pb.seed.s1
-                assert ps.seed.sigma == pb.seed.sigma
-                assert ps.initial_expectation == pb.initial_expectation
-                assert ps.final_value == pb.final_value
+        for i, (seq, bat) in enumerate(zip(sequential, batched)):
+            assert_prefix_results_equal(seq, bat, f"instance[{i}]")
 
     @pytest.mark.parametrize("avoid_mis", [False, True])
     def test_partial_pass_batch_matches_sequential(self, avoid_mis):
@@ -166,30 +159,18 @@ class TestBatchedEquivalence:
         batched = partial_coloring_pass_batch(
             batch, np.concatenate(psis), nums, avoid_mis=avoid_mis
         )
-        for seq, bat in zip(sequential, batched):
-            assert np.array_equal(seq.colors, bat.colors)
-            assert seq.colored_count == bat.colored_count
-            assert seq.mis_rounds == bat.mis_rounds
-            assert seq.eligible_count == bat.eligible_count
-            assert seq.prefix.potential_trace == bat.prefix.potential_trace
+        for i, (seq, bat) in enumerate(zip(sequential, batched)):
+            assert_outcomes_equal(seq, bat, f"instance[{i}]")
 
     def test_solve_batch_matches_sequential(self):
         instances = heterogeneous_instances()
         sequential = [solve_list_coloring_congest(inst) for inst in instances]
         batch = BatchedListColoringInstance.from_instances(instances)
         batched = solve_list_coloring_batch(batch)
-        for inst, seq, bat in zip(instances, sequential, batched.results):
-            assert np.array_equal(seq.colors, bat.colors)
-            assert seq.rounds.breakdown() == bat.rounds.breakdown()
-            assert seq.input_coloring_size == bat.input_coloring_size
-            assert seq.linial_iterations == bat.linial_iterations
-            assert seq.comm_depth == bat.comm_depth
-            assert len(seq.passes) == len(bat.passes)
-            for ps, pb in zip(seq.passes, bat.passes):
-                assert ps.active_before == pb.active_before
-                assert ps.colored == pb.colored
-                assert ps.seed_bits == pb.seed_bits
-                assert ps.potential_trace == pb.potential_trace
+        for i, (inst, seq, bat) in enumerate(
+            zip(instances, sequential, batched.results)
+        ):
+            assert_coloring_results_equal(seq, bat, f"instance[{i}]")
             verify_proper_list_coloring(inst, bat.colors)
         assert np.array_equal(
             batched.colors, np.concatenate([s.colors for s in sequential])
@@ -211,9 +192,8 @@ class TestBatchedEquivalence:
             input_colorings=psis,
             nums_input_colors=[inst.n for inst in instances],
         )
-        for seq, bat in zip(sequential, batched.results):
-            assert np.array_equal(seq.colors, bat.colors)
-            assert seq.rounds.breakdown() == bat.rounds.breakdown()
+        for i, (seq, bat) in enumerate(zip(sequential, batched.results)):
+            assert_coloring_results_equal(seq, bat, f"instance[{i}]")
 
     def test_randomized_batch_is_proper(self):
         instances = heterogeneous_instances()
@@ -247,9 +227,5 @@ class TestGroupedDerandomization:
                 )
             )
         grouped = derandomize_phase_group(estimators)
-        for est, fused in zip(estimators, grouped):
-            single = derandomize_phase(est)
-            assert (single.s1, single.sigma) == (fused.s1, fused.sigma)
-            assert single.initial_expectation == fused.initial_expectation
-            assert single.final_value == fused.final_value
-            assert single.conditional_trace == fused.conditional_trace
+        for i, (est, fused) in enumerate(zip(estimators, grouped)):
+            assert_seed_choices_equal(derandomize_phase(est), fused, f"seed[{i}]")

@@ -124,6 +124,54 @@ class TestBatchedOps:
         store.delete_pairs(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
         assert list(store[0]) == [0, 1]
 
+    def test_delete_pairs_empties_node_then_subset_slices_across(self):
+        # A mid-batch deletion that empties node 1's whole list must leave a
+        # well-formed CSR (zero-width segment), and a subsequent subset that
+        # slices ACROSS the emptied node must renumber cleanly around it.
+        store = ColorListStore.from_lists([[0, 1], [4, 6], [2], [3, 5]])
+        store.delete_pairs(np.array([1, 1, 3]), np.array([4, 6, 5]))
+        np.testing.assert_array_equal(store.sizes, [2, 0, 1, 1])
+        store.validate_segments_sorted()
+        sub = store.subset(np.array([0, 1, 2, 3]))
+        assert list(sub[0]) == [0, 1]
+        assert list(sub[1]) == []
+        assert list(sub[2]) == [2]
+        assert list(sub[3]) == [3]
+        # Slices that start, end, or repeat at the emptied node.
+        np.testing.assert_array_equal(store.subset(np.array([1, 3])).sizes, [0, 1])
+        np.testing.assert_array_equal(store.subset(np.array([2, 1])).sizes, [1, 0])
+        np.testing.assert_array_equal(
+            store.subset(np.array([1, 1, 1])).sizes, [0, 0, 0]
+        )
+
+    def test_delete_then_subset_then_delete_composition(self):
+        # The per-pass composition of the batched solver: delete, CSR-slice
+        # the residual, delete again on the slice — including a deletion
+        # aimed at an already-emptied node (a no-op by contract).
+        store = ColorListStore.from_lists([[1, 2, 3], [0], [5, 7], [4, 8]])
+        store.delete_pairs(np.array([1]), np.array([0]))  # empties node 1
+        sub = store.subset(np.array([3, 1, 0]))  # residual view across it
+        np.testing.assert_array_equal(sub.sizes, [2, 0, 3])
+        sub.delete_pairs(np.array([1, 2, 0]), np.array([9, 2, 8]))
+        assert list(sub[0]) == [4]  # 8 deleted from renumbered node 0
+        assert list(sub[1]) == []  # deleting from an empty list: no-op
+        assert list(sub[2]) == [1, 3]  # 2 deleted from renumbered node 2
+        sub.validate_segments_sorted()
+        # The parent store is untouched by mutations of the subset copy.
+        assert list(store[0]) == [1, 2, 3]
+        assert list(store[3]) == [4, 8]
+
+    def test_delete_pairs_can_empty_every_list(self):
+        store = ColorListStore.from_lists([[2], [0, 1]])
+        store.delete_pairs(np.array([0, 1, 1]), np.array([2, 0, 1]))
+        assert store.total == 0
+        np.testing.assert_array_equal(store.sizes, [0, 0])
+        # Composition on a fully emptied store stays well-formed.
+        sub = store.subset(np.array([1, 0, 1]))
+        np.testing.assert_array_equal(sub.sizes, [0, 0, 0])
+        sub.delete_pairs(np.array([0]), np.array([5]))
+        assert sub.total == 0
+
 
 class TestInstanceIntegration:
     def test_single_node_graph(self):

@@ -10,6 +10,7 @@ choices, conditional traces — are asserted *exactly* equal, not approx.
 import numpy as np
 import pytest
 
+from equivalence import assert_seed_choices_equal
 from repro.core.derandomize import (
     derandomize_phase_group,
     fix_bits_greedily,
@@ -157,12 +158,8 @@ class TestDerandomizeEquivalence:
         group = random_group(3, buckets=buckets, seed=7, edgeless=(1,))
         compressed = derandomize_phase_group(group, compress=True)
         reference = derandomize_phase_group(group, compress=False)
-        for got, want in zip(compressed, reference):
-            assert got.s1 == want.s1
-            assert got.sigma == want.sigma
-            assert got.initial_expectation == want.initial_expectation
-            assert got.final_value == want.final_value
-            assert got.conditional_trace == want.conditional_trace
+        for i, (got, want) in enumerate(zip(compressed, reference)):
+            assert_seed_choices_equal(got, want, f"seed[{i}]")
 
     def test_tables_off_reference_identical(self):
         # The full pre-PR path: peasant GF multiplies + uncompressed sweep.
@@ -174,9 +171,8 @@ class TestDerandomizeEquivalence:
             reference = derandomize_phase_group(group, compress=False)
         finally:
             field.use_tables = True
-        for got, want in zip(compressed, reference):
-            assert (got.s1, got.sigma) == (want.s1, want.sigma)
-            assert got.conditional_trace == want.conditional_trace
+        for i, (got, want) in enumerate(zip(compressed, reference)):
+            assert_seed_choices_equal(got, want, f"seed[{i}]")
 
 
 class TestTraceVectorization:
