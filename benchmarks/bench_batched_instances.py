@@ -26,6 +26,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -42,6 +43,9 @@ from repro.core.list_coloring import (
 )
 from repro.decomposition.rozhon_ghaffari import decompose
 from repro.graphs import generators
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _perf_json import add_json_arg, write_perf_json  # noqa: E402
 
 
 def build_classes(n: int) -> list:
@@ -114,6 +118,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=1536)
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    add_json_arg(parser, "batched_instances")
     args = parser.parse_args()
 
     classes = build_classes(args.n)
@@ -132,15 +137,28 @@ def main() -> int:
     print(f"sequential per-cluster solves: {t_seq * 1000:8.1f} ms")
     print(f"batched class solves:          {t_bat * 1000:8.1f} ms   ({speedup:.1f}x)")
 
+    guard = "ok"
     if speedup < args.min_speedup:
+        guard = "fail"
         print(
             f"FAIL: batched speedup {speedup:.1f}x < "
             f"required {args.min_speedup:.1f}x",
             file=sys.stderr,
         )
-        return 1
-    print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
-    return 0
+    else:
+        print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
+
+    if args.json:
+        write_perf_json(
+            args.json,
+            "batched_instances",
+            params={"n": args.n, "classes": len(classes), "clusters": num_clusters},
+            timings_seconds={"sequential": t_seq, "batched": t_bat},
+            speedup=speedup,
+            min_speedup=args.min_speedup,
+            guard=guard,
+        )
+    return 1 if guard == "fail" else 0
 
 
 if __name__ == "__main__":

@@ -15,12 +15,16 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 import numpy as np
 
 from repro.graphs.graph import Graph
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _perf_json import add_json_arg, write_perf_json  # noqa: E402
 
 
 def seed_builder(n: int, edges) -> tuple[np.ndarray, np.ndarray]:
@@ -64,6 +68,7 @@ def main() -> int:
     parser.add_argument("--d", type=int, default=8)
     parser.add_argument("--min-speedup", type=float, default=5.0)
     parser.add_argument("--seed", type=int, default=0)
+    add_json_arg(parser, "graph_construction")
     args = parser.parse_args()
 
     import networkx as nx
@@ -87,15 +92,32 @@ def main() -> int:
     print(f"vectorized Graph:   {t_new * 1000:8.1f} ms   ({speedup:.1f}x)")
     print(f"bfs_levels (full):  {t_bfs * 1000:8.1f} ms")
 
+    guard = "ok"
     if speedup < args.min_speedup:
+        guard = "fail"
         print(
             f"FAIL: construction speedup {speedup:.1f}x < "
             f"required {args.min_speedup:.1f}x",
             file=sys.stderr,
         )
-        return 1
-    print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
-    return 0
+    else:
+        print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
+
+    if args.json:
+        write_perf_json(
+            args.json,
+            "graph_construction",
+            params={"n": args.n, "d": args.d, "m": graph.m},
+            timings_seconds={
+                "seed_builder": t_seed,
+                "vectorized": t_new,
+                "bfs_levels": t_bfs,
+            },
+            speedup=speedup,
+            min_speedup=args.min_speedup,
+            guard=guard,
+        )
+    return 1 if guard == "fail" else 0
 
 
 if __name__ == "__main__":

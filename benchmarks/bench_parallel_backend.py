@@ -44,6 +44,9 @@ from repro.core.partial_coloring import partial_coloring_pass_batch
 from repro.graphs import generators
 from repro.parallel import ProcessBackend, plan_shard_bounds
 
+sys.path.insert(0, os.path.dirname(__file__))
+from _perf_json import add_json_arg, write_perf_json  # noqa: E402
+
 # The canonical byte-identity comparators live next to the tests; the
 # benchmark must enforce exactly what the test suite enforces.
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
@@ -98,6 +101,7 @@ def main() -> int:
     parser.add_argument("--n", type=int, default=256)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    add_json_arg(parser, "parallel_backend")
     args = parser.parse_args()
 
     batch = build_batch(args.n)
@@ -124,21 +128,34 @@ def main() -> int:
     print(f"process backend: {t_parallel * 1000:8.1f} ms   ({speedup:.2f}x)")
 
     cores = os.cpu_count() or 1
+    guard = "ok"
     if cores < args.workers:
+        guard = "skip"
         print(
             f"SKIP speedup guard: {cores} cores < {args.workers} workers "
             "(identity checks passed)"
         )
-        return 0
-    if speedup < args.min_speedup:
+    elif speedup < args.min_speedup:
+        guard = "fail"
         print(
             f"FAIL: process-backend speedup {speedup:.2f}x < "
             f"required {args.min_speedup:.1f}x",
             file=sys.stderr,
         )
-        return 1
-    print(f"OK: speedup {speedup:.2f}x >= {args.min_speedup:.1f}x")
-    return 0
+    else:
+        print(f"OK: speedup {speedup:.2f}x >= {args.min_speedup:.1f}x")
+
+    if args.json:
+        write_perf_json(
+            args.json,
+            "parallel_backend",
+            params={"n": args.n, "workers": args.workers},
+            timings_seconds={"serial": t_serial, "process": t_parallel},
+            speedup=speedup,
+            min_speedup=args.min_speedup,
+            guard=guard,
+        )
+    return 1 if guard == "fail" else 0
 
 
 if __name__ == "__main__":

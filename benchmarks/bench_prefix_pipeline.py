@@ -25,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -35,6 +36,9 @@ from repro.core.potential import accuracy_bits
 from repro.core.prefix import _bucket_counts
 from repro.graphs import generators
 from repro.hashing.coins import bucket_thresholds, select_buckets
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _perf_json import add_json_arg, write_perf_json  # noqa: E402
 
 
 def _phase_hashes(n: int, color_bits: int, b: int, seed: int) -> np.ndarray:
@@ -101,6 +105,7 @@ def main() -> int:
     parser.add_argument("--d", type=int, default=8)
     parser.add_argument("--min-speedup", type=float, default=5.0)
     parser.add_argument("--seed", type=int, default=0)
+    add_json_arg(parser, "prefix_pipeline")
     args = parser.parse_args()
 
     graph = generators.random_regular_graph(args.n, args.d, seed=args.seed)
@@ -122,15 +127,28 @@ def main() -> int:
     print(f"seed phase loop (ragged): {t_seed * 1000:8.1f} ms")
     print(f"CSR phase loop:           {t_new * 1000:8.1f} ms   ({speedup:.1f}x)")
 
+    guard = "ok"
     if speedup < args.min_speedup:
+        guard = "fail"
         print(
             f"FAIL: phase-loop speedup {speedup:.1f}x < "
             f"required {args.min_speedup:.1f}x",
             file=sys.stderr,
         )
-        return 1
-    print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
-    return 0
+    else:
+        print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
+
+    if args.json:
+        write_perf_json(
+            args.json,
+            "prefix_pipeline",
+            params={"n": args.n, "d": args.d, "phases": color_bits, "b": b},
+            timings_seconds={"ragged": t_seed, "csr": t_new},
+            speedup=speedup,
+            min_speedup=args.min_speedup,
+            guard=guard,
+        )
+    return 1 if guard == "fail" else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,148 @@
+"""Micro-benchmark guarding the seed-axis parallel sweep path.
+
+Builds the workload the instance axis cannot touch: a homogeneous batch of
+equal-signature instances.  ``keep_fusion_runs`` collapses it to a single
+shard (``effective_shards == 1``), so the PR-5 sharded backend degrades to
+serial — the seed axis is the only parallelism available.  The process
+backend must detect this (mode ``seed``), fan each phase's 2^m seed sweep
+out over the pool through one shared-memory count matrix, and still
+produce byte-identical results.
+
+Identity is asserted at the golden-suite level (colors, round-ledger
+category totals and event streams, per-pass potential traces) before any
+timing.  Exits non-zero if the seed-axis speedup falls below
+``--min-speedup`` (default 2×) at ``--workers`` workers (default 4); the
+speedup guard self-skips — identity still enforced — when the host has
+fewer cores than workers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_seed_parallel.py \
+        [--n 320] [--degree 16] [--copies 4] [--workers 4] \
+        [--min-speedup 2] [--json [PATH]]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.core.instances import (
+    BatchedListColoringInstance,
+    make_delta_plus_one_instance,
+)
+from repro.core.list_coloring import solve_list_coloring_batch
+from repro.graphs import generators
+from repro.parallel import ProcessBackend
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _perf_json import add_json_arg, write_perf_json  # noqa: E402
+
+# The canonical byte-identity comparators live next to the tests; the
+# benchmark must enforce exactly what the test suite enforces.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+from equivalence import assert_batch_results_equal  # noqa: E402
+
+
+def build_batch(n: int, degree: int, copies: int) -> BatchedListColoringInstance:
+    """``copies`` identical instances — one fusion run, one shard.
+
+    The same graph repeated keeps every fusion signature equal, which is
+    exactly the shape produced by the decomposition engine's per-class
+    cluster batches.  High degree makes the per-phase 2^m sweeps (Linial's
+    K = O(Δ²) seed space) the dominant cost, the part the seed axis splits.
+    """
+    graph = generators.random_regular_graph(n, degree, seed=7)
+    instance = make_delta_plus_one_instance(graph)
+    return BatchedListColoringInstance.from_instances([instance] * copies)
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=320)
+    parser.add_argument("--degree", type=int, default=16)
+    parser.add_argument("--copies", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    add_json_arg(parser, "seed_parallel")
+    args = parser.parse_args()
+
+    batch = build_batch(args.n, args.degree, args.copies)
+    print(
+        f"batch: {batch.num_instances} copies of n={args.n} d={args.degree} "
+        f"({batch.n} union nodes, single fusion run)"
+    )
+
+    with ProcessBackend(workers=args.workers) as backend:
+        serial = solve_list_coloring_batch(batch)
+        parallel = solve_list_coloring_batch(batch, backend=backend)
+        assert_batch_results_equal(serial, parallel)
+        record = backend.telemetry[-1]
+        assert record["mode"] == "seed", (
+            f"expected seed-axis mode on a single fusion run, got "
+            f"{record['mode']!r}"
+        )
+        dispatched = len(backend.sweep_telemetry)
+        print(
+            f"byte-identical outputs; mode={record['mode']}, "
+            f"{dispatched} sweeps dispatched over shared memory"
+        )
+
+        t_serial = best_of(lambda: solve_list_coloring_batch(batch))
+        t_parallel = best_of(
+            lambda: solve_list_coloring_batch(batch, backend=backend)
+        )
+    speedup = t_serial / t_parallel
+
+    print(f"serial sweeps:        {t_serial * 1000:8.1f} ms")
+    print(f"seed-parallel sweeps: {t_parallel * 1000:8.1f} ms   ({speedup:.2f}x)")
+
+    cores = os.cpu_count() or 1
+    guard = "ok"
+    if cores < args.workers:
+        guard = "skip"
+        print(
+            f"SKIP speedup guard: {cores} cores < {args.workers} workers "
+            "(identity checks passed)"
+        )
+    elif speedup < args.min_speedup:
+        guard = "fail"
+        print(
+            f"FAIL: seed-axis speedup {speedup:.2f}x < "
+            f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+    else:
+        print(f"OK: speedup {speedup:.2f}x >= {args.min_speedup:.1f}x")
+
+    if args.json:
+        write_perf_json(
+            args.json,
+            "seed_parallel",
+            params={
+                "n": args.n,
+                "degree": args.degree,
+                "copies": args.copies,
+                "workers": args.workers,
+            },
+            timings_seconds={"serial": t_serial, "seed_parallel": t_parallel},
+            speedup=speedup,
+            min_speedup=args.min_speedup,
+            guard=guard,
+        )
+    return 1 if guard == "fail" else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

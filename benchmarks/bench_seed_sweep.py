@@ -30,6 +30,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -42,6 +43,9 @@ from repro.core.potential import (
     expected_by_s1_grouped,
 )
 from repro.hashing.pairwise import PairwiseFamily
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _perf_json import add_json_arg, write_perf_json  # noqa: E402
 
 CHUNK = 512
 
@@ -115,6 +119,7 @@ def main() -> int:
     parser.add_argument("--n", type=int, default=400)
     parser.add_argument("--deg", type=int, default=8)
     parser.add_argument("--min-speedup", type=float, default=5.0)
+    add_json_arg(parser, "seed_sweep")
     args = parser.parse_args()
 
     estimators = build_group(args.instances, args.n, args.deg)
@@ -150,15 +155,34 @@ def main() -> int:
         f"   ({speedup:.1f}x)"
     )
 
+    guard = "ok"
     if speedup < args.min_speedup:
+        guard = "fail"
         print(
             f"FAIL: sweep speedup {speedup:.1f}x < "
             f"required {args.min_speedup:.1f}x",
             file=sys.stderr,
         )
-        return 1
-    print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
-    return 0
+    else:
+        print(f"OK: speedup {speedup:.1f}x >= {args.min_speedup:.1f}x")
+
+    if args.json:
+        write_perf_json(
+            args.json,
+            "seed_sweep",
+            params={
+                "instances": args.instances,
+                "n": args.n,
+                "deg": args.deg,
+                "edges": edges,
+                "unique_columns": unique,
+            },
+            timings_seconds={"reference": t_ref, "optimized": t_new},
+            speedup=speedup,
+            min_speedup=args.min_speedup,
+            guard=guard,
+        )
+    return 1 if guard == "fail" else 0
 
 
 if __name__ == "__main__":

@@ -14,31 +14,46 @@ import numpy as np
 import pytest
 
 from repro.analysis.tables import Table
-from repro.core.instances import make_delta_plus_one_instance
-from repro.core.list_coloring import solve_list_coloring_congest
-from repro.core.prefix import extend_prefixes
+from repro.core.instances import (
+    BatchedListColoringInstance,
+    make_delta_plus_one_instance,
+)
+from repro.core.list_coloring import solve_list_coloring_batch
+from repro.core.prefix import extend_prefixes_batch
 from repro.graphs import generators as gen
 
 
 def run_sweep():
+    """The whole n sweep through one batched prefix extension.
+
+    Every n shares Δ = 4 and the same K, so all five instances share a
+    seed space and the batched call fuses their per-phase sweeps — the
+    point of the sweep (seed bits constant in n) is also what makes it
+    batch perfectly.
+    """
     from repro.baselines.greedy import greedy_delta_plus_one
 
-    rows = []
-    for n in (32, 64, 128, 256, 512):
-        graph = gen.random_regular_graph(n, 4, seed=61)
-        instance = make_delta_plus_one_instance(graph)
-        # A K = Δ+1 input coloring: K is fixed across the n sweep, exactly
-        # like the paper's Linial-produced K = O(Δ²).
-        psi = greedy_delta_plus_one(graph)
-        result = extend_prefixes(instance, psi, int(psi.max()) + 1)
-        rows.append(
-            {
-                "n": n,
-                "seed_bits": result.phases[0].seed_bits,
-                "polylog_ref": int(math.log2(n)) ** 2,
-            }
-        )
-    return rows
+    ns = (32, 64, 128, 256, 512)
+    graphs = [gen.random_regular_graph(n, 4, seed=61) for n in ns]
+    # A K = Δ+1 input coloring: K is fixed across the n sweep, exactly
+    # like the paper's Linial-produced K = O(Δ²).
+    psis = [greedy_delta_plus_one(graph) for graph in graphs]
+    batch = BatchedListColoringInstance.from_instances(
+        [make_delta_plus_one_instance(graph) for graph in graphs]
+    )
+    results = extend_prefixes_batch(
+        batch,
+        np.concatenate(psis),
+        [int(psi.max()) + 1 for psi in psis],
+    )
+    return [
+        {
+            "n": n,
+            "seed_bits": result.phases[0].seed_bits,
+            "polylog_ref": int(math.log2(n)) ** 2,
+        }
+        for n, result in zip(ns, results)
+    ]
 
 
 def test_t8_seed_length_constant_in_n(benchmark):
@@ -61,16 +76,23 @@ def test_t8_seed_scales_with_delta_and_loglogC(benchmark):
     """The seed *should* grow (logarithmically) with Δ — show the knob."""
 
     def run():
-        rows = []
-        for delta in (2, 4, 8, 16):
-            n = 64
-            graph = (
+        deltas = (2, 4, 8, 16)
+        n = 64
+        instances = [
+            make_delta_plus_one_instance(
                 gen.cycle_graph(n)
                 if delta == 2
                 else gen.random_regular_graph(n, delta, seed=62)
             )
-            instance = make_delta_plus_one_instance(graph)
-            result = solve_list_coloring_congest(instance)
+            for delta in deltas
+        ]
+        batch_result = solve_list_coloring_batch(
+            BatchedListColoringInstance.from_instances(instances)
+        )
+        rows = []
+        for delta, instance, result in zip(
+            deltas, instances, batch_result.results
+        ):
             seed_bits = result.passes[0].seed_bits // result.passes[0].phases
             rows.append((delta, instance.color_bits, seed_bits))
         return rows

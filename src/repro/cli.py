@@ -11,10 +11,11 @@ record (solver, graph parameters, seed, round totals and per-category
 breakdown, and a sha256 of the coloring) so benchmark scripts can consume
 results without scraping tables.  ``--seed`` is threaded through graph
 generation and echoed in the JSON output.  ``--backend serial|process``
-(with ``--workers N``) selects the executor for the batched solver core —
-the process backend shards batches across a worker pool and produces
-byte-identical results, so the JSON records (including the coloring hash)
-do not depend on the backend.
+(with ``--workers N`` and ``--sweep-workers N``) selects the executor for
+the batched solver core — the process backend shards batches across a
+worker pool and/or fans each phase's seed sweep out over shared memory,
+and produces byte-identical results either way, so the JSON records
+(including the coloring hash) do not depend on the backend.
 
 Examples::
 
@@ -68,7 +69,11 @@ def _make_backend(args):
         return None
     from repro.parallel.backend import resolve_backend
 
-    return resolve_backend(args.backend, workers=args.workers)
+    return resolve_backend(
+        args.backend,
+        workers=args.workers,
+        sweep_workers=getattr(args, "sweep_workers", None),
+    )
 
 
 def _solve(instance, solver: str, backend=None):
@@ -201,6 +206,14 @@ def main(argv=None) -> int:
                 type=int,
                 default=None,
                 help="process-backend pool size (default: cpu count)",
+            )
+            p.add_argument(
+                "--sweep-workers",
+                type=int,
+                default=None,
+                help="seed-axis parallelism of the process backend "
+                "(pool fan-out of each 2^m seed sweep; default: "
+                "--workers, 0 disables the seed axis)",
             )
         if name == "color":
             p.add_argument("--solver", default="congest")

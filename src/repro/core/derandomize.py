@@ -22,6 +22,8 @@ consume the same :class:`SeedChoice`; only the round accounting differs.
 
 from __future__ import annotations
 
+import contextvars
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,10 +36,48 @@ from repro.core.potential import (
 
 __all__ = [
     "SeedChoice",
+    "current_sweep_dispatcher",
     "fix_bits_greedily",
     "derandomize_phase",
     "derandomize_phase_group",
+    "sweep_dispatch_scope",
 ]
+
+
+#: Ambient seed-sweep dispatcher (None → serial chunk loop).  The parallel
+#: layer installs its seed-axis executor here via :func:`sweep_dispatch_scope`
+#: so the core layer never imports ``repro.parallel``; a dispatcher is any
+#: object with ``sweep_val1(sweep, order, chunk_size, out) -> bool`` that
+#: either fills ``out`` with the full ``val1`` matrix (returning True) or
+#: declines (returning False, e.g. sweep too small) and lets the serial
+#: loop run.  Whatever the executor does with the integer kernel, the float
+#: weighting must go through ``sweep.weight_rows`` in seed order — that is
+#: the byte-identity contract.
+_sweep_dispatcher_var: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_sweep_dispatcher", default=None
+)
+
+
+def current_sweep_dispatcher():
+    """The ambient seed-sweep dispatcher, or ``None`` for the serial loop."""
+    return _sweep_dispatcher_var.get()
+
+
+@contextmanager
+def sweep_dispatch_scope(dispatcher):
+    """Install ``dispatcher`` as the ambient seed-sweep executor.
+
+    Grouped sweeps started inside the scope (any engine depth — the
+    decomposition and clique engines reach :func:`derandomize_phase_group`
+    through several layers) route their 2^m enumeration through it.
+    ``None`` restores the serial loop, which nested scopes can use to
+    shield a region from an outer dispatcher.
+    """
+    token = _sweep_dispatcher_var.set(dispatcher)
+    try:
+        yield dispatcher
+    finally:
+        _sweep_dispatcher_var.reset(token)
 
 
 @dataclass
@@ -131,6 +171,7 @@ def derandomize_phase_group(
     chunk_size: int = 512,
     strict: bool = True,
     compress: bool = True,
+    sweep_dispatcher=None,
 ) -> list:
     """Derandomize one phase of many instances against one seed sweep.
 
@@ -149,20 +190,31 @@ def derandomize_phase_group(
     identical to a standalone :func:`derandomize_phase` call.
     ``compress=False`` forces the uncompressed reference kernels (results
     are bit-identical; used by tests and the benchmark guard).
+    ``sweep_dispatcher`` (default: the ambient one from
+    :func:`sweep_dispatch_scope`) may run the 2^m enumeration across the
+    seed axis; its output is bit-identical to the serial loop because the
+    integer kernel is elementwise per seed row and the float weighting
+    stays single-threaded (see :meth:`SeedSweepWorkspace.weight_rows`).
     """
     estimators = list(estimators)
     if not estimators:
         return []
     m = estimators[0].family.m
     order = 1 << m
+    if sweep_dispatcher is None:
+        sweep_dispatcher = _sweep_dispatcher_var.get()
 
     sweep = SeedSweepWorkspace(estimators, compress=compress)
     val1 = np.empty((len(estimators), order), dtype=np.float64)
-    for start in range(0, order, chunk_size):
-        stop = min(order, start + chunk_size)
-        sweep.expected_rows(
-            np.arange(start, stop, dtype=np.int64), out=val1[:, start:stop]
-        )
+    dispatched = False
+    if sweep_dispatcher is not None and sweep.live:
+        dispatched = sweep_dispatcher.sweep_val1(sweep, order, chunk_size, val1)
+    if not dispatched:
+        for start in range(0, order, chunk_size):
+            stop = min(order, start + chunk_size)
+            sweep.expected_rows(
+                np.arange(start, stop, dtype=np.int64), out=val1[:, start:stop]
+            )
 
     # Fix every instance's s1 bits first (one vectorized greedy descent over
     # all rows), then evaluate the exact σ arrays for the whole group in one

@@ -133,6 +133,7 @@ def partial_coloring_pass_batch(
     strict: bool = True,
     rng: np.random.Generator | None = None,
     backend=None,
+    sweep_dispatcher=None,
 ) -> list[PartialColoringOutcome]:
     """One Lemma 2.1 pass on every instance of ``batch`` at once.
 
@@ -143,7 +144,9 @@ def partial_coloring_pass_batch(
     selects the executor exactly as in
     :func:`~repro.core.list_coloring.solve_list_coloring_batch`; with a
     process backend the worker ledgers are replayed event-by-event into
-    the caller's ``ledgers``.
+    the caller's ``ledgers``.  ``sweep_dispatcher`` routes the grouped
+    seed sweeps of the serial path (ignored when a non-serial ``backend``
+    takes over, which installs its own dispatch scope).
     """
     if backend is not None:
         from repro.parallel.backend import SerialBackend, backend_scope
@@ -204,6 +207,7 @@ def partial_coloring_pass_batch(
             strengthens=strengthens,
             strict=strict,
             rng=rng,
+            sweep_dispatcher=sweep_dispatcher,
         )
 
         threshold = 1 if avoid_mis else 3

@@ -41,6 +41,7 @@ a seed choice, ledger, or coloring.
 
 from __future__ import annotations
 
+import hashlib
 import math
 
 import numpy as np
@@ -70,6 +71,7 @@ _SIGMA_FUSE_BUDGET_ENTRIES = 2 * _SIGMA_CHUNK_ENTRIES
 __all__ = [
     "PhaseEstimator",
     "SeedSweepWorkspace",
+    "SweepCountKernel",
     "buckets_for_seed_grouped",
     "exact_by_sigma_grouped",
     "expected_by_s1_grouped",
@@ -111,6 +113,155 @@ def accuracy_bits(
     return max(1, math.ceil(math.log2(need)) + 1)
 
 
+class SweepCountKernel:
+    """The pure-integer half of the ``E[Σ_e X_e | s1]`` seed sweep.
+
+    Everything the 2^m enumeration computes *before* the first float — the
+    GF(2^m) multiply of ``g_values_many`` and the counting DP of
+    :mod:`repro.core.counting` — is a function of the (possibly
+    unique-column-compressed) per-edge keys alone, operates elementwise per
+    ``(seed, column)`` entry, and produces exact int64 counts.  The kernel
+    packages exactly that state so the count matrix can be produced
+
+    * **chunk-boundary-stably**: ``count_rows`` over any partition of the
+      seed range concatenates to the same integers as one full-range call,
+      because no operation crosses seed rows — the property the seed-axis
+      parallel backend relies on to let many workers each produce one
+      contiguous seed chunk of a shared ``val1`` count buffer; and
+    * **picklably**: the kernel carries only the small unique-column arrays
+      plus the family parameters ``(a, b)``; the
+      :class:`~repro.hashing.pairwise.PairwiseFamily` (whose GF(2^m) log
+      tables are process-cached) is rebuilt lazily on the receiving side.
+
+    ``count_width`` is the number of integer columns per seed row:
+    the (unique) edge-column count for 2-bucket (r = 1) phases, or the
+    total of per-bucket alive column counts for the r > 1 interval loop
+    (laid out block by block in bucket order).  :attr:`fingerprint`
+    identifies the kernel's exact inputs (a stable sha256 over the family
+    parameters and column arrays) for worker-side caches and telemetry.
+    """
+
+    def __init__(
+        self,
+        a: int,
+        b: int,
+        num_buckets: int,
+        psi_diff: np.ndarray,
+        thr_u: np.ndarray,
+        thr_v: np.ndarray,
+    ):
+        self.a = int(a)
+        self.b = int(b)
+        self.num_buckets = int(num_buckets)
+        self.psi_diff = psi_diff
+        self.thr_u = thr_u
+        self.thr_v = thr_v
+        self._family = None
+        self._fingerprint: str | None = None
+        if self.num_buckets == 2:
+            self._plans = None
+            self._blocks = None
+            self.count_width = len(psi_diff)
+        else:
+            # One (alive mask, DP interval bounds) plan and one contiguous
+            # column block per bucket; buckets empty at some endpoint of
+            # every edge contribute no columns.
+            self._plans = []
+            self._blocks = []
+            col = 0
+            for w in range(self.num_buckets):
+                lo_u, hi_u = thr_u[:, w], thr_u[:, w + 1]
+                lo_v, hi_v = thr_v[:, w], thr_v[:, w + 1]
+                alive = (hi_u > lo_u) & (hi_v > lo_v)
+                if not alive.any():
+                    self._plans.append(None)
+                    self._blocks.append(None)
+                    continue
+                bounds = (
+                    lo_u[alive][None, :],
+                    hi_u[alive][None, :],
+                    lo_v[alive][None, :],
+                    hi_v[alive][None, :],
+                )
+                width = int(alive.sum())
+                self._plans.append((alive, bounds))
+                self._blocks.append((col, col + width))
+                col += width
+            self.count_width = col
+
+    @property
+    def family(self):
+        """The pairwise family, rebuilt lazily after unpickling (the GF
+        field behind it is ``lru_cache``d per process, so this is one dict
+        lookup after the first call in a worker)."""
+        if self._family is None:
+            from repro.hashing.pairwise import PairwiseFamily
+
+            self._family = PairwiseFamily(self.a, self.b)
+        return self._family
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the kernel's defining inputs."""
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(
+                np.array(
+                    [self.a, self.b, self.num_buckets], dtype=np.int64
+                ).tobytes()
+            )
+            for arr in (self.psi_diff, self.thr_u, self.thr_v):
+                digest.update(repr(arr.shape).encode())
+                digest.update(np.ascontiguousarray(arr).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_family"] = None  # rebuilt lazily; GF tables never pickled
+        return state
+
+    def count_rows(
+        self, s1_values: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Integer count matrix for the given seeds; shape
+        ``(len(s1_values), count_width)``.
+
+        Row ``i`` depends only on ``s1_values[i]`` (every operation is
+        elementwise over seed rows), so calls over any chunking of the seed
+        range produce bitwise-identical rows.
+        """
+        s1_values = np.asarray(s1_values, dtype=np.int64)
+        shape = (len(s1_values), self.count_width)
+        if out is None:
+            out = np.empty(shape, dtype=np.int64)
+        elif out.shape != shape or out.dtype != np.int64:
+            raise ValueError(
+                f"out must be int64 of shape {shape}, got {out.dtype} {out.shape}"
+            )
+        if self.count_width == 0 or not len(s1_values):
+            return out
+        d = self.family.g_values_many(s1_values, self.psi_diff)
+        if self.num_buckets == 2:
+            count_xor_below(
+                d,
+                self.thr_u[:, 1][None, :],
+                self.thr_v[:, 1][None, :],
+                self.b,
+                out=out,
+            )
+        else:
+            for plan, block in zip(self._plans, self._blocks):
+                if plan is None:
+                    continue
+                alive, bounds = plan
+                lo, hi = block
+                out[:, lo:hi] = count_xor_in_intervals(
+                    d[:, alive], *bounds, self.b
+                )
+        return out
+
+
 class SeedSweepWorkspace:
     """Seed-independent state for the fused ``E[Σ_e X_e | s1]`` sweep.
 
@@ -146,6 +297,9 @@ class SeedSweepWorkspace:
         self.estimators = list(estimators)
         self.compress = bool(compress)
         self._buffers: dict = {}
+        #: The picklable pure-integer count kernel (None when no estimator
+        #: has edges); its ``fingerprint`` identifies this workspace's sweep.
+        self.kernel: SweepCountKernel | None = None
         if self.estimators:
             _check_group(self.estimators)
         live = [est for est in self.estimators if est.num_edges]
@@ -185,46 +339,47 @@ class SeedSweepWorkspace:
             self.uniq_psi_diff = np.ascontiguousarray(uniq[:, 0])
             self.uniq_thr_u = np.ascontiguousarray(uniq[:, 1:1 + width])
             self.uniq_thr_v = np.ascontiguousarray(uniq[:, 1 + width:])
+            self.kernel = SweepCountKernel(
+                self.family.a,
+                self.b,
+                self.num_buckets,
+                self.uniq_psi_diff,
+                self.uniq_thr_u,
+                self.uniq_thr_v,
+            )
+        else:
+            self.kernel = SweepCountKernel(
+                self.family.a,
+                self.b,
+                self.num_buckets,
+                self.psi_diff,
+                self.thr_u,
+                self.thr_v,
+            )
         if self.num_buckets != 2:
-            self._interval_plan = [
-                self._plan_bucket(w) for w in range(self.num_buckets)
+            self._float_plans = [
+                self._plan_bucket_floats(w) for w in range(self.num_buckets)
             ]
 
-    def _plan_bucket(self, w: int):
-        """Seed-independent state of interval-loop bucket ``w``.
+    def _plan_bucket_floats(self, w: int):
+        """Float-side state of interval-loop bucket ``w`` (the integer side
+        — alive masks and DP bounds — lives in the kernel's plans).
 
-        The alive mask, the DP threshold operands, the inverse-gather
-        indices and the weight slice depend only on workspace state, so
-        they are built once here instead of once per chunk.  Returns
-        ``None`` for buckets empty at every edge endpoint.
+        The inverse-gather indices and the weight slice depend only on
+        workspace state, so they are built once here instead of once per
+        chunk.  Returns ``None`` for buckets empty at every edge endpoint.
         """
-        if self.compress:
-            lo_u = self.uniq_thr_u[:, w]
-            hi_u = self.uniq_thr_u[:, w + 1]
-            lo_v = self.uniq_thr_v[:, w]
-            hi_v = self.uniq_thr_v[:, w + 1]
-        else:
-            lo_u = self.thr_u[:, w]
-            hi_u = self.thr_u[:, w + 1]
-            lo_v = self.thr_v[:, w]
-            hi_v = self.thr_v[:, w + 1]
-        alive = (hi_u > lo_u) & (hi_v > lo_v)
-        if not alive.any():
+        plan = self.kernel._plans[w]
+        if plan is None:
             return None
-        bounds = (
-            lo_u[alive][None, :],
-            hi_u[alive][None, :],
-            lo_v[alive][None, :],
-            hi_v[alive][None, :],
-        )
+        alive = plan[0]
         if not self.compress:
-            return alive, bounds, None, self.weights[alive, w][None, :]
+            return alive, None, self.weights[alive, w][None, :]
         position = np.cumsum(alive) - 1
         alive_full = alive[self.inverse]
         gather = position[self.inverse[alive_full]]
         return (
             alive,
-            bounds,
             (alive_full, gather),
             self.weights[alive_full, w][None, :],
         )
@@ -237,42 +392,29 @@ class SeedSweepWorkspace:
             self._buffers[name] = buf
         return buf
 
-    def _contributions_r1(self, s1_candidates: np.ndarray) -> np.ndarray:
-        """r = 1 fast path: one counting-DP call per (candidate, edge).
+    def _weight_r1(self, counts: np.ndarray) -> np.ndarray:
+        """r = 1 float step over one block of integer count rows.
 
         Bucket 0 occupies [0, t) and bucket 1 occupies [t, 2^b); by
         inclusion-exclusion, #{both in bucket 1} = 2^b - t_u - t_v +
         #{both in bucket 0}.
         """
-        num = len(s1_candidates)
+        num = counts.shape[0]
         edges = len(self.psi_diff)
         t_u = self.thr_u[:, 1][None, :]
         t_v = self.thr_v[:, 1][None, :]
         w0 = self.weights[:, 0][None, :]
         w1 = self.weights[:, 1][None, :]
         if self.compress:
-            # DP on unique columns, integer scatter, THEN the float weighting.
-            d = self.family.g_values_many(s1_candidates, self.uniq_psi_diff)
-            uniq = len(self.uniq_psi_diff)
-            n_uniq = count_xor_below(
-                d,
-                self.uniq_thr_u[:, 1][None, :],
-                self.uniq_thr_v[:, 1][None, :],
-                self.b,
-                out=self._buf("n_uniq", (num, uniq), np.int64),
-            )
+            # Integer scatter through the inverse index, THEN the floats.
             n_both0 = np.take(
-                n_uniq,
+                counts,
                 self.inverse,
                 axis=1,
                 out=self._buf("n_both0", (num, edges), np.int64),
             )
         else:
-            d = self.family.g_values_many(s1_candidates, self.psi_diff)
-            n_both0 = count_xor_below(
-                d, t_u, t_v, self.b,
-                out=self._buf("n_both0", (num, edges), np.int64),
-            )
+            n_both0 = counts
         n_both1 = self.scale - t_u - t_v + n_both0
         total = np.multiply(
             n_both0, w0, out=self._buf("total", (num, edges), np.float64)
@@ -282,23 +424,18 @@ class SeedSweepWorkspace:
         )
         return np.add(total, part1, out=total)
 
-    def _contributions_general(self, s1_candidates: np.ndarray) -> np.ndarray:
-        """r > 1 interval loop over the 2^r bucket columns."""
-        num = len(s1_candidates)
+    def _weight_general(self, counts: np.ndarray) -> np.ndarray:
+        """r > 1 float step: accumulate the per-bucket count blocks."""
+        num = counts.shape[0]
         edges = len(self.psi_diff)
         total = self._buf("total", (num, edges), np.float64)
         total[...] = 0.0
-        if self.compress:
-            d = self.family.g_values_many(s1_candidates, self.uniq_psi_diff)
-        else:
-            d = self.family.g_values_many(s1_candidates, self.psi_diff)
-        for plan in self._interval_plan:
-            if plan is None:
+        for block, fplan in zip(self.kernel._blocks, self._float_plans):
+            if fplan is None:
                 continue
-            alive, (lo_u, hi_u, lo_v, hi_v), scatter, weight = plan
-            cnt = count_xor_in_intervals(
-                d[:, alive], lo_u, hi_u, lo_v, hi_v, self.b
-            )
+            lo, hi = block
+            cnt = counts[:, lo:hi]
+            alive, scatter, weight = fplan
             if scatter is not None:
                 # Scatter the integer counts back to full edge columns
                 # before any float multiply touches them.
@@ -308,6 +445,65 @@ class SeedSweepWorkspace:
                 total[:, alive] += cnt.astype(np.float64) * weight
         return total
 
+    def count_rows(
+        self, s1_candidates: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Integer count rows for the candidates (see
+        :meth:`SweepCountKernel.count_rows`); reuses a workspace buffer
+        when ``out`` is not given."""
+        s1_candidates = np.asarray(s1_candidates, dtype=np.int64)
+        if out is None:
+            out = self._buf(
+                "counts",
+                (len(s1_candidates), self.kernel.count_width),
+                np.int64,
+            )
+        return self.kernel.count_rows(s1_candidates, out=out)
+
+    def weight_rows(
+        self, counts: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The single-threaded float step: count rows → expectation columns.
+
+        ``counts`` is any contiguous block of seed rows as produced by
+        :meth:`count_rows` (equivalently, by the kernel in a worker
+        process); returns the (num estimators, num rows) expectation
+        matrix for that block.  Because every float operation here sees
+        exactly the operands of the serial sweep in the serial order, the
+        result is bit-identical no matter how the seed range was chunked
+        to produce ``counts``.
+        """
+        counts = np.asarray(counts)
+        shape = (len(self.estimators), counts.shape[0])
+        if out is None:
+            out = np.empty(shape, dtype=np.float64)
+        elif out.shape != shape or out.dtype != np.float64:
+            raise ValueError(
+                f"out must be float64 of shape {shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
+        if not self.live:
+            out[...] = 0.0
+            return out
+        if counts.shape[1] != self.kernel.count_width or counts.dtype != np.int64:
+            raise ValueError(
+                f"counts must be int64 with {self.kernel.count_width} "
+                f"columns, got {counts.dtype} {counts.shape}"
+            )
+        if self.num_buckets == 2:
+            total = self._weight_r1(counts)
+        else:
+            total = self._weight_general(counts)
+        j = 0
+        for i, est in enumerate(self.estimators):
+            if est.num_edges == 0:
+                out[i, :] = 0.0
+            else:
+                lo, hi = int(self.bounds[j]), int(self.bounds[j + 1])
+                out[i, :] = total[:, lo:hi].sum(axis=1) / float(self.scale)
+                j += 1
+        return out
+
     def expected_rows(
         self, s1_candidates: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
@@ -315,6 +511,9 @@ class SeedSweepWorkspace:
 
         Row j is exactly ``estimators[j].expected_by_s1(s1_candidates)``;
         ``out``, when given, is filled in place (float64, matching shape).
+        Composition of the integer :meth:`count_rows` kernel and the float
+        :meth:`weight_rows` step — the seam the seed-axis parallel backend
+        splits across processes.
         """
         s1_candidates = np.asarray(s1_candidates, dtype=np.int64)
         shape = (len(self.estimators), len(s1_candidates))
@@ -328,19 +527,7 @@ class SeedSweepWorkspace:
         if not self.live:
             out[...] = 0.0
             return out
-        if self.num_buckets == 2:
-            total = self._contributions_r1(s1_candidates)
-        else:
-            total = self._contributions_general(s1_candidates)
-        j = 0
-        for i, est in enumerate(self.estimators):
-            if est.num_edges == 0:
-                out[i, :] = 0.0
-            else:
-                lo, hi = int(self.bounds[j]), int(self.bounds[j + 1])
-                out[i, :] = total[:, lo:hi].sum(axis=1) / float(self.scale)
-                j += 1
-        return out
+        return self.weight_rows(self.count_rows(s1_candidates), out=out)
 
 
 def expected_by_s1_grouped(

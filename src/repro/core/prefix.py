@@ -177,6 +177,7 @@ def extend_prefixes_batch(
     strict: bool = True,
     rng: np.random.Generator | None = None,
     accuracy_override: int | None = None,
+    sweep_dispatcher=None,
 ) -> list[PrefixResult]:
     """Run the full prefix extension on every instance of ``batch`` at once.
 
@@ -186,6 +187,9 @@ def extend_prefixes_batch(
     :class:`PrefixResult` per instance, each identical to what
     :func:`extend_prefixes` would produce on that instance alone.  With
     ``rng``, random seeds are drawn per phase in instance order.
+    ``sweep_dispatcher`` routes the grouped seed sweeps (see
+    :func:`~repro.core.derandomize.derandomize_phase_group`); results are
+    bit-identical with or without one.
     """
     k = batch.num_instances
     if k == 0:
@@ -321,7 +325,9 @@ def extend_prefixes_batch(
         if rng is None:
             for members in groups.values():
                 group_choices = derandomize_phase_group(
-                    [estimators[i] for i in members], strict=strict
+                    [estimators[i] for i in members],
+                    strict=strict,
+                    sweep_dispatcher=sweep_dispatcher,
                 )
                 for i, choice in zip(members, group_choices):
                     choices[i] = choice

@@ -1,10 +1,14 @@
-"""Sharded parallel execution backends for the batched solver core.
+"""Two-axis parallel execution backends for the batched solver core.
 
 The batch ``(values, offsets, instance_offsets)`` array program shards
 along its instance partition; :class:`ProcessBackend` dispatches shard
 solves to a worker pool and merges every artifact — colorings, seed
 choices, round ledgers, potential traces — back byte-identically to the
-serial path (:class:`SerialBackend`, the default).
+serial path (:class:`SerialBackend`, the default).  When fusion runs
+leave too few instance cuts, the same pool instead fans the per-phase
+2^m seed enumeration out over shared memory
+(:class:`SeedChunkDispatcher`), chosen per batch by a measured
+:class:`SweepCostModel` — still byte-identical.
 """
 
 from repro.parallel.backend import (
@@ -15,20 +19,32 @@ from repro.parallel.backend import (
     resolve_backend,
 )
 from repro.parallel.sharding import (
+    ShardPlan,
     fusion_signatures,
     merge_solve_results,
     plan_shard_bounds,
+    plan_shards,
     replay_ledger,
+)
+from repro.parallel.sweep import (
+    SHM_PREFIX,
+    SeedChunkDispatcher,
+    SweepCostModel,
 )
 
 __all__ = [
     "Backend",
     "ProcessBackend",
+    "SHM_PREFIX",
+    "SeedChunkDispatcher",
     "SerialBackend",
+    "ShardPlan",
+    "SweepCostModel",
     "backend_scope",
     "fusion_signatures",
     "merge_solve_results",
     "plan_shard_bounds",
+    "plan_shards",
     "replay_ledger",
     "resolve_backend",
 ]

@@ -5,15 +5,21 @@ A backend decides *where* the array program of
 
 * :class:`SerialBackend` — in-process, the default; exactly the existing
   single-call path.
-* :class:`ProcessBackend` — shards the batch along ``instance_offsets``
-  (:func:`~repro.parallel.sharding.plan_shard_bounds`, fusion runs kept
-  whole), dispatches shard solves to a ``ProcessPoolExecutor`` and merges
-  the per-shard results back into the flat batch layout.  Because every
-  per-instance output of the batched engine is byte-identical to a
-  batch-of-one solve, the merged colorings, seed choices, round ledgers
-  and potential traces are byte-identical to the serial backend — the
-  contract the golden suite and ``benchmarks/bench_parallel_backend.py``
-  pin.
+* :class:`ProcessBackend` — plans over *two* axes per dispatch: shard the
+  batch along ``instance_offsets``
+  (:func:`~repro.parallel.sharding.plan_shards`, fusion runs kept whole)
+  and dispatch shard solves to a ``ProcessPoolExecutor``, and/or fan the
+  per-phase 2^m seed enumeration out across the same pool through a
+  shared-memory count matrix
+  (:class:`~repro.parallel.sweep.SeedChunkDispatcher`) — the axis that
+  still helps when fusion runs collapse the batch to one shard.  A
+  :class:`~repro.parallel.sweep.SweepCostModel`, calibrated from measured
+  shard and sweep timings, picks the mode.  Because every per-instance
+  output of the batched engine is byte-identical to a batch-of-one solve,
+  and the seed-axis split keeps all float work single-threaded in serial
+  order, the merged colorings, seed choices, round ledgers and potential
+  traces are byte-identical to the serial backend — the contract the
+  golden suite and ``benchmarks/bench_parallel_backend.py`` pin.
 
 Both backends expose the same two operations — the full solve and the
 single Lemma 2.1 pass — which is all the decomposition and MPC engines
@@ -28,16 +34,19 @@ in global instance order, which sharding would reorder.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.core.derandomize import sweep_dispatch_scope
 from repro.parallel.sharding import (
     merge_solve_results,
-    plan_shard_bounds,
+    plan_shards,
     replay_ledger,
 )
-from repro.parallel.worker import partial_pass_shard, solve_shard
+from repro.parallel.sweep import SeedChunkDispatcher, SweepCostModel
+from repro.parallel.worker import partial_pass_shard_timed, solve_shard_timed
 
 __all__ = [
     "Backend",
@@ -98,7 +107,7 @@ def _slice(seq, lo: int, hi: int):
 
 
 class ProcessBackend(Backend):
-    """Sharded multiprocess executor for the batched solver.
+    """Two-axis multiprocess executor for the batched solver.
 
     Parameters
     ----------
@@ -112,9 +121,38 @@ class ProcessBackend(Backend):
         Upper bound on shards per dispatch; defaults to ``workers``.
     keep_fusion_runs:
         Keep contiguous equal-signature fusion runs inside one shard (see
-        :func:`~repro.parallel.sharding.plan_shard_bounds`).  Disabling it
+        :func:`~repro.parallel.sharding.plan_shards`).  Disabling it
         trades shared-seed sweep fusion for finer load balancing; outputs
         are byte-identical either way.
+    sweep_workers:
+        Seed-axis parallelism: the pool fan-out of each phase's 2^m seed
+        enumeration (:class:`~repro.parallel.sweep.SeedChunkDispatcher`).
+        ``None`` (default) uses ``workers``; ``0`` disables the seed axis
+        and restores pure instance sharding.
+    cost_model:
+        A :class:`~repro.parallel.sweep.SweepCostModel`; defaults to a
+        fresh one.  Shared across calls, it is calibrated online from the
+        timings this backend measures — per-shard wall times feed the
+        planner weights, per-sweep kernel times feed the chunker.
+
+    Per dispatch the backend plans over *both* axes and picks a mode:
+
+    * ``"instance"`` — cut along ``instance_offsets`` and solve shards in
+      the pool (the PR-5 path), chosen when the plan yields enough
+      well-balanced shards;
+    * ``"seed"`` — solve inline with the grouped seed sweeps fanned out
+      across the pool, chosen when fusion runs make instance cuts useless
+      (the homogeneous batch / single large instance case);
+    * ``"both"`` — walk the fusion-run-aligned shards sequentially, each
+      with pool-parallel sweeps, chosen when shards exist but are too
+      skewed for instance cuts alone; the sequential walk keeps each
+      shard's working set bounded while the seed axis supplies the
+      parallelism.
+
+    All three modes are byte-identical to the serial backend.  Every
+    dispatch appends a telemetry record (mode, requested vs effective
+    shards, wall seconds) to :attr:`telemetry`; sweep-level records land
+    in :attr:`sweep_telemetry`.
 
     The pool is created lazily on first dispatch and reused across calls
     (one backend can serve every color class of a decomposition, say);
@@ -129,6 +167,8 @@ class ProcessBackend(Backend):
         start_method: str | None = None,
         max_shards: int | None = None,
         keep_fusion_runs: bool = True,
+        sweep_workers: int | None = None,
+        cost_model: SweepCostModel | None = None,
     ):
         import multiprocessing as mp
 
@@ -143,7 +183,16 @@ class ProcessBackend(Backend):
         self.start_method = start_method
         self.max_shards = self.workers if max_shards is None else int(max_shards)
         self.keep_fusion_runs = keep_fusion_runs
+        self.sweep_workers = (
+            self.workers if sweep_workers is None else int(sweep_workers)
+        )
+        if self.sweep_workers < 0:
+            raise ValueError(f"sweep_workers must be >= 0, got {sweep_workers}")
+        self.cost_model = cost_model if cost_model is not None else SweepCostModel()
+        self.telemetry: list[dict] = []
+        self.sweep_telemetry: list[dict] = []
         self._executor: ProcessPoolExecutor | None = None
+        self._dispatcher: SeedChunkDispatcher | None = None
 
     # ------------------------------------------------------------------
     def _pool(self) -> ProcessPoolExecutor:
@@ -161,14 +210,66 @@ class ProcessBackend(Backend):
             self._executor.shutdown(wait=True)
             self._executor = None
 
+    def _sweep_dispatcher(self) -> SeedChunkDispatcher:
+        if self._dispatcher is None:
+            self._dispatcher = SeedChunkDispatcher(
+                self._pool,
+                self.sweep_workers,
+                cost_model=self.cost_model,
+                telemetry=self.sweep_telemetry,
+            )
+        return self._dispatcher
+
     def _plan(self, batch):
-        """Shard bounds for ``batch`` (>= 1 shard; cutting is deferred so
-        single-shard plans never pay the array slicing)."""
-        return plan_shard_bounds(
+        """Two-axis shard plan for ``batch``: fusion-run-aligned bounds
+        weighted by the cost model's measured per-signature rates (node
+        counts until calibrated)."""
+        from repro.parallel.sharding import fusion_signatures
+
+        signatures = fusion_signatures(batch)
+        weights = self.cost_model.instance_weights(
+            signatures, batch.instance_sizes
+        )
+        return plan_shards(
             batch,
             min(self.max_shards, batch.num_instances),
             keep_fusion_runs=self.keep_fusion_runs,
+            weights=weights,
+            signatures=signatures,
         )
+
+    def _choose_mode(self, plan) -> str:
+        """Pick the dispatch mode for one batch from the plan + cost model."""
+        seed_axis = self.sweep_workers > 1
+        if not seed_axis:
+            return "instance"
+        if plan.effective_shards <= 1:
+            return "seed"
+        if plan.effective_shards >= plan.requested_shards:
+            return "instance"
+        # Fewer shards than requested: compare the instance-axis critical
+        # path (heaviest shard's share) with the seed axis' Amdahl bound.
+        seed_share = self.cost_model.seed_mode_share(self.sweep_workers)
+        if plan.max_weight_share <= seed_share:
+            return "instance"
+        return "both"
+
+    def _record(self, op: str, mode: str, plan, wall: float, sweeps_before: int):
+        self.telemetry.append(
+            {
+                "op": op,
+                "mode": mode,
+                "requested_shards": int(plan.requested_shards),
+                "effective_shards": int(plan.effective_shards),
+                "wall_seconds": wall,
+            }
+        )
+        if mode in ("seed", "both"):
+            sweep_seconds = sum(
+                entry["wall_seconds"]
+                for entry in self.sweep_telemetry[sweeps_before:]
+            )
+            self.cost_model.observe_sweep_fraction(sweep_seconds, wall)
 
     # ------------------------------------------------------------------
     def solve_batch(
@@ -194,34 +295,72 @@ class ProcessBackend(Backend):
             )
         if batch.num_instances == 0:
             return BatchColoringResult()
-        bounds = self._plan(batch)
-        if len(bounds) <= 2:  # one shard: run inline, skip slicing and IPC
+        plan = self._plan(batch)
+        mode = self._choose_mode(plan)
+        sweeps_before = len(self.sweep_telemetry)
+        start_time = time.perf_counter()
+
+        def solve_inline(sub_batch, lo, hi):
             return solve_list_coloring_batch(
-                batch,
+                sub_batch,
                 r_schedule=r_schedule,
                 strict=strict,
                 verify=verify,
-                comm_depths=comm_depths,
-                input_colorings=input_colorings,
-                nums_input_colors=nums_input_colors,
+                comm_depths=_slice(comm_depths, lo, hi),
+                input_colorings=_slice(input_colorings, lo, hi),
+                nums_input_colors=_slice(nums_input_colors, lo, hi),
             )
-        payloads = [
-            (
-                shard,
-                dict(
-                    r_schedule=r_schedule,
-                    strict=strict,
-                    verify=verify,
-                    comm_depths=_slice(comm_depths, lo, hi),
-                    input_colorings=_slice(input_colorings, lo, hi),
-                    nums_input_colors=_slice(nums_input_colors, lo, hi),
-                ),
-            )
-            for shard, lo, hi in zip(
-                batch.shard(bounds), bounds[:-1].tolist(), bounds[1:].tolist()
-            )
-        ]
-        return merge_solve_results(self._pool().map(solve_shard, payloads))
+
+        if mode == "seed":
+            with sweep_dispatch_scope(self._sweep_dispatcher()):
+                result = solve_inline(batch, 0, batch.num_instances)
+        elif mode == "both":
+            bounds = plan.bounds
+            with sweep_dispatch_scope(self._sweep_dispatcher()):
+                result = merge_solve_results(
+                    solve_inline(shard, lo, hi)
+                    for shard, lo, hi in zip(
+                        batch.shard(bounds),
+                        bounds[:-1].tolist(),
+                        bounds[1:].tolist(),
+                    )
+                )
+        elif plan.effective_shards <= 1:
+            # one shard, seed axis off: run inline, skip slicing and IPC
+            result = solve_inline(batch, 0, batch.num_instances)
+        else:
+            bounds = plan.bounds
+            payloads = [
+                (
+                    shard,
+                    dict(
+                        r_schedule=r_schedule,
+                        strict=strict,
+                        verify=verify,
+                        comm_depths=_slice(comm_depths, lo, hi),
+                        input_colorings=_slice(input_colorings, lo, hi),
+                        nums_input_colors=_slice(nums_input_colors, lo, hi),
+                    ),
+                )
+                for shard, lo, hi in zip(
+                    batch.shard(bounds), bounds[:-1].tolist(), bounds[1:].tolist()
+                )
+            ]
+            timed = list(self._pool().map(solve_shard_timed, payloads))
+            for j, (_res, seconds) in enumerate(timed):
+                nodes = int(
+                    batch.instance_offsets[bounds[j + 1]]
+                    - batch.instance_offsets[bounds[j]]
+                )
+                self.cost_model.observe_shard(
+                    plan.shard_signature(j), nodes, seconds
+                )
+            result = merge_solve_results(res for res, _secs in timed)
+
+        self._record(
+            "solve", mode, plan, time.perf_counter() - start_time, sweeps_before
+        )
+        return result
 
     # ------------------------------------------------------------------
     def partial_pass_batch(
@@ -246,53 +385,92 @@ class ProcessBackend(Backend):
         k = batch.num_instances
         if k == 0:
             return []
-        bounds = self._plan(batch)
-        if len(bounds) <= 2:  # one shard: run inline, skip slicing and IPC
+        plan = self._plan(batch)
+        mode = self._choose_mode(plan)
+        sweeps_before = len(self.sweep_telemetry)
+        start_time = time.perf_counter()
+        psis = np.asarray(psis, dtype=np.int64)
+
+        def pass_inline(sub_batch, lo, hi):
+            node_lo = int(batch.instance_offsets[lo])
+            node_hi = int(batch.instance_offsets[hi])
             return partial_coloring_pass_batch(
-                batch,
-                psis,
-                nums_input_colors,
-                comm_depths=comm_depths,
-                ledgers=ledgers,
+                sub_batch,
+                psis[node_lo:node_hi],
+                list(nums_input_colors[lo:hi]),
+                comm_depths=_slice(comm_depths, lo, hi),
+                ledgers=None if ledgers is None else list(ledgers[lo:hi]),
                 r_schedule=r_schedule,
                 avoid_mis=avoid_mis,
                 strict=strict,
             )
-        psis = np.asarray(psis, dtype=np.int64)
-        payloads = []
-        for shard, lo, hi in zip(
-            batch.shard(bounds), bounds[:-1].tolist(), bounds[1:].tolist()
-        ):
-            node_lo = int(batch.instance_offsets[lo])
-            node_hi = int(batch.instance_offsets[hi])
-            payloads.append(
-                (
-                    shard,
-                    psis[node_lo:node_hi],
-                    list(nums_input_colors[lo:hi]),
-                    [
-                        ledgers is not None and ledgers[i] is not None
-                        for i in range(lo, hi)
-                    ],
-                    dict(
-                        comm_depths=_slice(comm_depths, lo, hi),
-                        r_schedule=r_schedule,
-                        avoid_mis=avoid_mis,
-                        strict=strict,
-                    ),
+
+        if mode == "seed":
+            with sweep_dispatch_scope(self._sweep_dispatcher()):
+                outcomes = pass_inline(batch, 0, k)
+        elif mode == "both":
+            bounds = plan.bounds
+            outcomes = []
+            with sweep_dispatch_scope(self._sweep_dispatcher()):
+                for shard, lo, hi in zip(
+                    batch.shard(bounds),
+                    bounds[:-1].tolist(),
+                    bounds[1:].tolist(),
+                ):
+                    outcomes.extend(pass_inline(shard, lo, hi))
+        elif plan.effective_shards <= 1:
+            # one shard, seed axis off: run inline, skip slicing and IPC
+            outcomes = pass_inline(batch, 0, k)
+        else:
+            bounds = plan.bounds
+            payloads = []
+            for shard, lo, hi in zip(
+                batch.shard(bounds), bounds[:-1].tolist(), bounds[1:].tolist()
+            ):
+                node_lo = int(batch.instance_offsets[lo])
+                node_hi = int(batch.instance_offsets[hi])
+                payloads.append(
+                    (
+                        shard,
+                        psis[node_lo:node_hi],
+                        list(nums_input_colors[lo:hi]),
+                        [
+                            ledgers is not None and ledgers[i] is not None
+                            for i in range(lo, hi)
+                        ],
+                        dict(
+                            comm_depths=_slice(comm_depths, lo, hi),
+                            r_schedule=r_schedule,
+                            avoid_mis=avoid_mis,
+                            strict=strict,
+                        ),
+                    )
                 )
+            outcomes = []
+            shard_outputs = list(
+                self._pool().map(partial_pass_shard_timed, payloads)
             )
-        outcomes = []
-        shard_outputs = list(self._pool().map(partial_pass_shard, payloads))
-        for lo, (shard_outcomes, shard_ledgers) in zip(
-            bounds[:-1].tolist(), shard_outputs
-        ):
-            outcomes.extend(shard_outcomes)
-            for offset, worker_ledger in enumerate(shard_ledgers):
-                if worker_ledger is not None and ledgers is not None:
-                    target = ledgers[lo + offset]
-                    if target is not None:
-                        replay_ledger(target, worker_ledger)
+            for j, (lo, (shard_outcomes, shard_ledgers, seconds)) in enumerate(
+                zip(bounds[:-1].tolist(), shard_outputs)
+            ):
+                outcomes.extend(shard_outcomes)
+                for offset, worker_ledger in enumerate(shard_ledgers):
+                    if worker_ledger is not None and ledgers is not None:
+                        target = ledgers[lo + offset]
+                        if target is not None:
+                            replay_ledger(target, worker_ledger)
+                nodes = int(
+                    batch.instance_offsets[bounds[j + 1]]
+                    - batch.instance_offsets[bounds[j]]
+                )
+                self.cost_model.observe_shard(
+                    plan.shard_signature(j), nodes, seconds
+                )
+
+        self._record(
+            "partial_pass", mode, plan, time.perf_counter() - start_time,
+            sweeps_before,
+        )
         return outcomes
 
 
@@ -324,12 +502,15 @@ def backend_scope(spec, workers: int | None = None) -> _BackendScope:
     return _BackendScope(spec, workers)
 
 
-def resolve_backend(backend, workers: int | None = None) -> Backend:
+def resolve_backend(
+    backend, workers: int | None = None, sweep_workers: int | None = None
+) -> Backend:
     """Coerce ``None`` / a name / a :class:`Backend` into a backend.
 
     ``None`` and ``"serial"`` give the in-process default; ``"process"``
-    builds a :class:`ProcessBackend` (with ``workers`` if given).  Backend
-    instances pass through untouched, so callers can share one pool.
+    builds a :class:`ProcessBackend` (with ``workers`` / ``sweep_workers``
+    if given).  Backend instances pass through untouched, so callers can
+    share one pool.
     """
     if backend is None:
         return SerialBackend()
@@ -339,7 +520,7 @@ def resolve_backend(backend, workers: int | None = None) -> Backend:
         if backend == "serial":
             return SerialBackend()
         if backend == "process":
-            return ProcessBackend(workers=workers)
+            return ProcessBackend(workers=workers, sweep_workers=sweep_workers)
         raise ValueError(
             f"unknown backend {backend!r} (expected 'serial' or 'process')"
         )

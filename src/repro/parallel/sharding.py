@@ -22,21 +22,44 @@ accuracy bits ``b`` of every phase and (for like-sized graphs) on the
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.core.instances import BatchedListColoringInstance, ceil_log2
+from repro.core.instances import BatchedListColoringInstance
 
 __all__ = [
+    "ShardPlan",
     "fusion_signatures",
     "merge_solve_results",
     "plan_shard_bounds",
+    "plan_shards",
     "replay_ledger",
 ]
 
 
-def fusion_signatures(batch: BatchedListColoringInstance) -> list:
-    """Static per-instance seed-space signature ``(⌈log C⌉, Δ_block)``.
+def _bit_length(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``int.bit_length`` for non-negative int64 values.
 
+    Six constant-shift passes (the binary expansion of 63) — exact, no
+    float ``log2`` round-off at powers of two.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    out = np.zeros_like(x)
+    v = x.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = v >= (np.int64(1) << shift)
+        out[big] += shift
+        v[big] >>= shift
+    out[x > 0] += 1
+    return out
+
+
+def fusion_signatures(batch: BatchedListColoringInstance) -> np.ndarray:
+    """Static per-instance seed-space signatures ``(⌈log C⌉, Δ_block)``.
+
+    Returned as a ``(num_instances, 2)`` int64 matrix — row i is instance
+    i's signature; rows compare with ``(sig[i] != sig[j]).any()``.
     Instances with equal signatures land in the same shared-seed fusion
     group in (almost) every phase; the planner avoids cutting between them.
     """
@@ -50,40 +73,101 @@ def fusion_signatures(batch: BatchedListColoringInstance) -> list:
         # exactly one non-empty block's nodes.
         starts = batch.instance_offsets[:-1][valid]
         deltas[valid] = np.maximum.reduceat(batch.graph.degrees, starts)
-    return [
-        (max(1, ceil_log2(int(batch.color_spaces[i]))), int(deltas[i]))
-        for i in range(k)
-    ]
+    # ceil_log2(C) == bit_length(C - 1), clipped to >= 1.
+    log_c = np.maximum(
+        1, _bit_length(np.maximum(0, np.asarray(batch.color_spaces, np.int64) - 1))
+    )
+    return np.stack([log_c, deltas], axis=1)
 
 
-def plan_shard_bounds(
+@dataclass
+class ShardPlan:
+    """Outcome of :func:`plan_shards`.
+
+    ``effective_shards`` may be smaller than ``requested_shards`` when
+    ``keep_fusion_runs`` leaves fewer admissible cut points than shards
+    requested — previously a silent degradation; the backend now reads it
+    off the plan (and reports it in telemetry) to decide whether the seed
+    axis must make up the lost parallelism.
+    """
+
+    bounds: np.ndarray  #: int64 ``[0, .., num_instances]``, shard edges
+    requested_shards: int
+    signatures: np.ndarray  #: (k, 2) fusion signatures used for the cuts
+    weights: np.ndarray  #: per-instance planning weights (cost or nodes)
+
+    @property
+    def effective_shards(self) -> int:
+        return max(1, len(self.bounds) - 1)
+
+    @property
+    def shard_weights(self) -> np.ndarray:
+        """Total planning weight per shard."""
+        cum = np.concatenate(
+            [[0], np.cumsum(np.asarray(self.weights, dtype=np.float64))]
+        )
+        return np.diff(cum[self.bounds])
+
+    @property
+    def max_weight_share(self) -> float:
+        """Heaviest shard's fraction of the total weight (crit-path proxy)."""
+        shard_weights = self.shard_weights
+        total = float(shard_weights.sum())
+        if total <= 0.0:
+            return 1.0
+        return float(shard_weights.max()) / total
+
+    def shard_signature(self, j: int) -> tuple:
+        """Signature of shard j's first instance (shards are fusion-run
+        aligned, so for homogeneous runs this is *the* shard signature)."""
+        lo = int(self.bounds[j])
+        if lo >= len(self.signatures):
+            return (0, 0)
+        return tuple(int(v) for v in self.signatures[lo])
+
+
+def plan_shards(
     batch: BatchedListColoringInstance,
     num_shards: int,
     keep_fusion_runs: bool = True,
-) -> np.ndarray:
-    """Contiguous shard bounds along ``instance_offsets``.
+    weights: np.ndarray | None = None,
+    signatures: np.ndarray | None = None,
+) -> ShardPlan:
+    """Contiguous shard plan along ``instance_offsets``.
 
-    Returns a non-decreasing int64 array ``[0, .., num_instances]`` with at
-    most ``num_shards`` gaps, balancing the per-shard node weight.  With
-    ``keep_fusion_runs`` (the default), a boundary is only placed where the
-    fusion signature changes, so contiguous shared-seed groups stay whole —
-    a homogeneous batch then degrades to fewer (possibly one) shards rather
-    than splitting its fused sweep.
+    ``bounds`` is a non-decreasing int64 array ``[0, .., num_instances]``
+    with at most ``num_shards`` gaps, balancing the per-shard weight
+    (``weights`` defaults to node counts; the backend passes cost-model
+    estimates once calibrated).  With ``keep_fusion_runs`` (the default), a
+    boundary is only placed where the fusion signature changes, so
+    contiguous shared-seed groups stay whole — a homogeneous batch then
+    degrades to fewer (possibly one) shards rather than splitting its
+    fused sweep, and the plan's ``effective_shards`` records the loss.
     """
     k = batch.num_instances
     num_shards = max(1, int(num_shards))
     if k == 0:
-        return np.array([0, 0], dtype=np.int64)
-    weights = np.maximum(1, batch.instance_sizes)
-    cum = np.zeros(k + 1, dtype=np.int64)
+        return ShardPlan(
+            bounds=np.array([0, 0], dtype=np.int64),
+            requested_shards=num_shards,
+            signatures=np.zeros((0, 2), dtype=np.int64),
+            weights=np.zeros(0, dtype=np.float64),
+        )
+    if signatures is None:
+        signatures = fusion_signatures(batch)
+    if weights is None:
+        weights = np.maximum(1, batch.instance_sizes).astype(np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (k,):
+            raise ValueError(f"need one weight per instance, got {weights.shape}")
+    cum = np.zeros(k + 1, dtype=np.float64)
     np.cumsum(weights, out=cum[1:])
-    total = int(cum[-1])
+    total = float(cum[-1])
 
     allowed = np.ones(k + 1, dtype=bool)
     if keep_fusion_runs and k > 1:
-        sig = fusion_signatures(batch)
-        for i in range(1, k):
-            allowed[i] = sig[i] != sig[i - 1]
+        allowed[1:k] = (signatures[1:] != signatures[:-1]).any(axis=1)
 
     bounds = [0]
     candidates = np.flatnonzero(allowed)
@@ -97,7 +181,21 @@ def plan_shard_bounds(
         # closest to the ideal boundary; monotonicity is enforced above.
         bounds.append(pick)
     bounds.append(k)
-    return np.array(bounds, dtype=np.int64)
+    return ShardPlan(
+        bounds=np.array(bounds, dtype=np.int64),
+        requested_shards=num_shards,
+        signatures=signatures,
+        weights=weights,
+    )
+
+
+def plan_shard_bounds(
+    batch: BatchedListColoringInstance,
+    num_shards: int,
+    keep_fusion_runs: bool = True,
+) -> np.ndarray:
+    """Bounds-only view of :func:`plan_shards` (node-count weights)."""
+    return plan_shards(batch, num_shards, keep_fusion_runs=keep_fusion_runs).bounds
 
 
 def merge_solve_results(shard_results) -> "BatchColoringResult":

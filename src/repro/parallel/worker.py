@@ -10,17 +10,72 @@ arrays) plus the per-shard keyword slices.
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
+
 from repro.engine.rounds import RoundLedger
 
-__all__ = ["solve_shard", "partial_pass_shard"]
+__all__ = [
+    "solve_shard",
+    "solve_shard_timed",
+    "partial_pass_shard",
+    "partial_pass_shard_timed",
+    "sweep_chunk_counts",
+]
 
 
 def solve_shard(payload):
-    """Run the full Theorem 1.1 loop on one shard (serially, in-process)."""
+    """Run the full Theorem 1.1 loop on one shard (serially, in-process).
+
+    The null dispatch scope matters under ``fork``: workers forked while
+    the coordinator held a seed-axis scope would inherit its contextvar —
+    and with it a dead copy of the coordinator's pool — so shard solves
+    explicitly pin the serial sweep loop.
+    """
     shard, kwargs = payload
+    from repro.core.derandomize import sweep_dispatch_scope
     from repro.core.list_coloring import solve_list_coloring_batch
 
-    return solve_list_coloring_batch(shard, **kwargs)
+    with sweep_dispatch_scope(None):
+        return solve_list_coloring_batch(shard, **kwargs)
+
+
+def solve_shard_timed(payload):
+    """:func:`solve_shard` plus its wall time (cost-model calibration)."""
+    start = time.perf_counter()
+    result = solve_shard(payload)
+    return result, time.perf_counter() - start
+
+
+def sweep_chunk_counts(payload):
+    """Integer count rows for one contiguous seed chunk, written straight
+    into the coordinator's shared-memory ``val1`` count matrix.
+
+    ``payload`` is ``(kernel, shm_name, total_rows, lo, hi)``: the pickled
+    :class:`~repro.core.potential.SweepCountKernel` (its GF(2^m) tables are
+    rebuilt lazily from the per-process cache), the segment name, the full
+    matrix height and this chunk's row range.  Each chunk is the sole
+    producer of its rows, so no synchronization is needed; the kernel is
+    elementwise per row, so the assembled matrix is bit-identical to one
+    serial enumeration.  Returns ``(lo, hi, kernel_seconds)``.
+    """
+    kernel, shm_name, total_rows, lo, hi = payload
+    from repro.parallel.sweep import attach_sweep_shm
+
+    start = time.perf_counter()
+    shm = attach_sweep_shm(shm_name)
+    try:
+        view = np.ndarray(
+            (total_rows, kernel.count_width), dtype=np.int64, buffer=shm.buf
+        )
+        try:
+            kernel.count_rows(np.arange(lo, hi, dtype=np.int64), out=view[lo:hi])
+        finally:
+            del view  # drop the buffer view before close()
+    finally:
+        shm.close()
+    return lo, hi, time.perf_counter() - start
 
 
 def partial_pass_shard(payload):
@@ -31,10 +86,19 @@ def partial_pass_shard(payload):
     dispatcher can replay its events into the caller's ledger.
     """
     shard, psis, nums_input_colors, ledger_mask, kwargs = payload
+    from repro.core.derandomize import sweep_dispatch_scope
     from repro.core.partial_coloring import partial_coloring_pass_batch
 
     ledgers = [RoundLedger() if has else None for has in ledger_mask]
-    outcomes = partial_coloring_pass_batch(
-        shard, psis, nums_input_colors, ledgers=ledgers, **kwargs
-    )
+    with sweep_dispatch_scope(None):
+        outcomes = partial_coloring_pass_batch(
+            shard, psis, nums_input_colors, ledgers=ledgers, **kwargs
+        )
     return outcomes, ledgers
+
+
+def partial_pass_shard_timed(payload):
+    """:func:`partial_pass_shard` plus its wall time."""
+    start = time.perf_counter()
+    outcomes, ledgers = partial_pass_shard(payload)
+    return outcomes, ledgers, time.perf_counter() - start

@@ -1,0 +1,437 @@
+"""Seed-axis parallel sweeps: byte-identity, shm lifecycle, cost model.
+
+Three contracts pinned here:
+
+1. **Kernel split** — ``SweepCountKernel.count_rows`` is elementwise per
+   (seed row, count column), so any partition of the seed range assembles
+   the same integer matrix, and ``weight_rows`` over the assembled blocks
+   reproduces ``expected_rows`` bit-for-bit.
+2. **Shared-memory lifecycle** — every ``repro-sweep-*`` segment is
+   unlinked on normal completion, on worker exception, and on pool
+   shutdown; nothing is left in ``/dev/shm``.
+3. **End-to-end byte-identity** — full solves and partial passes through
+   a seed-axis :class:`ProcessBackend` equal the serial path exactly
+   (colorings, SeedChoices, ledgers, traces) under fork AND spawn, for
+   chunk counts that do and do not divide 2^m.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from equivalence import (
+    assert_batch_results_equal,
+    assert_ledgers_equal,
+    assert_outcomes_equal,
+)
+from repro.core.derandomize import (
+    current_sweep_dispatcher,
+    derandomize_phase_group,
+    sweep_dispatch_scope,
+)
+from repro.core.instances import (
+    BatchedListColoringInstance,
+    make_delta_plus_one_instance,
+)
+from repro.core.list_coloring import solve_list_coloring_batch
+from repro.core.partial_coloring import partial_coloring_pass_batch
+from repro.core.potential import SeedSweepWorkspace, SweepCountKernel
+from repro.engine.rounds import RoundLedger
+from repro.graphs import generators as gen
+from repro.parallel import (
+    ProcessBackend,
+    SeedChunkDispatcher,
+    SweepCostModel,
+    fusion_signatures,
+    plan_shards,
+)
+from repro.parallel.sweep import SHM_PREFIX, attach_sweep_shm, create_sweep_shm
+from test_seed_sweep_compression import random_group
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+START_METHODS = [m for m in ("fork", "spawn") if m in mp.get_all_start_methods()]
+
+
+def leaked_segments() -> list:
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+def homogeneous_batch(copies: int = 4, n: int = 40) -> BatchedListColoringInstance:
+    """All instances share one fusion signature → exactly one shard."""
+    instances = [
+        make_delta_plus_one_instance(gen.gnp_graph(n, 0.2, seed=7))
+        for _ in range(copies)
+    ]
+    return BatchedListColoringInstance.from_instances(instances)
+
+
+def heterogeneous_batch() -> BatchedListColoringInstance:
+    """Two fusion runs of very different weight → fewer cuts than workers."""
+    instances = [
+        make_delta_plus_one_instance(gen.gnp_graph(60, 0.2, seed=3)),
+        make_delta_plus_one_instance(gen.gnp_graph(60, 0.2, seed=4)),
+        make_delta_plus_one_instance(gen.cycle_graph(8)),
+        make_delta_plus_one_instance(gen.cycle_graph(8)),
+    ]
+    return BatchedListColoringInstance.from_instances(instances)
+
+
+@pytest.fixture(scope="module", params=START_METHODS)
+def seed_backend(request):
+    """One seed-axis pool per start method, shared across the module."""
+    backend = ProcessBackend(workers=WORKERS, start_method=request.param)
+    yield backend
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# 1. Kernel split: counts are chunk-boundary stable, weights reproduce
+#    expected_rows bitwise.
+# ----------------------------------------------------------------------
+class TestKernelSplit:
+    @pytest.mark.parametrize("buckets", [2, 4])
+    @pytest.mark.parametrize("compress", [True, False])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_count_then_weight_matches_expected_rows(self, buckets, compress, seed):
+        group = random_group(3, buckets=buckets, seed=seed)
+        sweep = SeedSweepWorkspace(group, compress=compress)
+        order = 1 << group[0].family.m
+        s1s = np.arange(order, dtype=np.int64)
+        counts = sweep.kernel.count_rows(s1s)
+        via_split = sweep.weight_rows(counts)
+        direct = SeedSweepWorkspace(group, compress=compress).expected_rows(s1s)
+        assert np.array_equal(via_split, direct)
+
+    @pytest.mark.parametrize("chunks", [2, 3, 5, 7])
+    def test_counts_chunk_boundary_stable(self, chunks):
+        group = random_group(3, buckets=4, seed=2)
+        sweep = SeedSweepWorkspace(group)
+        kernel = sweep.kernel
+        order = 1 << group[0].family.m
+        whole = kernel.count_rows(np.arange(order, dtype=np.int64)).copy()
+        assembled = np.empty_like(whole)
+        edges = (order * np.arange(chunks + 1, dtype=np.int64)) // chunks
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            kernel.count_rows(
+                np.arange(lo, hi, dtype=np.int64), out=assembled[lo:hi]
+            )
+        assert np.array_equal(assembled, whole)
+
+    def test_kernel_pickles_without_field_tables(self):
+        import pickle
+
+        group = random_group(1, seed=3)
+        kernel = SeedSweepWorkspace(group).kernel
+        _ = kernel.family  # force the lazy family
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone._family is None  # tables rebuilt lazily in the worker
+        s1s = np.arange(16, dtype=np.int64)
+        assert np.array_equal(clone.count_rows(s1s), kernel.count_rows(s1s))
+        assert clone.fingerprint == kernel.fingerprint
+
+    def test_fingerprint_distinguishes_workspaces(self):
+        a = SeedSweepWorkspace(random_group(2, seed=4)).kernel
+        b = SeedSweepWorkspace(random_group(2, seed=5)).kernel
+        assert a.fingerprint != b.fingerprint
+        again = SeedSweepWorkspace(random_group(2, seed=4)).kernel
+        assert a.fingerprint == again.fingerprint
+
+    def test_weight_rows_rejects_bad_counts(self):
+        group = random_group(2, seed=6)
+        sweep = SeedSweepWorkspace(group)
+        with pytest.raises(ValueError):
+            sweep.weight_rows(
+                np.zeros((4, sweep.kernel.count_width + 1), dtype=np.int64)
+            )
+        with pytest.raises(ValueError):
+            sweep.weight_rows(
+                np.zeros((4, sweep.kernel.count_width), dtype=np.float64)
+            )
+
+
+# ----------------------------------------------------------------------
+# 2. Dispatcher + shared-memory lifecycle.
+# ----------------------------------------------------------------------
+class _ExplodingKernel:
+    """Picklable kernel stand-in whose count step always fails."""
+
+    count_width = 4
+    fingerprint = "exploding"
+
+    def count_rows(self, s1_values, out=None):
+        raise RuntimeError("boom")
+
+
+class _FakeSweep:
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+
+class TestShmLifecycle:
+    def test_no_segments_after_normal_completion(self, seed_backend):
+        batch = homogeneous_batch()
+        seed_backend._sweep_dispatcher().chunks = 3
+        try:
+            solve_list_coloring_batch(batch, backend=seed_backend)
+        finally:
+            seed_backend._sweep_dispatcher().chunks = None
+        assert seed_backend.sweep_telemetry, "dispatch never fired"
+        assert leaked_segments() == []
+
+    def test_unlinked_on_worker_exception(self, seed_backend):
+        dispatcher = SeedChunkDispatcher(
+            seed_backend._pool, WORKERS, chunks=2
+        )
+        out = np.empty((1, 64), dtype=np.float64)
+        with pytest.raises(RuntimeError, match="boom"):
+            dispatcher.sweep_val1(_FakeSweep(_ExplodingKernel()), 64, 16, out)
+        assert leaked_segments() == []
+
+    def test_unlinked_on_pool_shutdown(self):
+        pool = ProcessPoolExecutor(max_workers=1)
+        pool.shutdown(wait=True)
+        dispatcher = SeedChunkDispatcher(lambda: pool, 2, chunks=2)
+        group = random_group(1, seed=7)
+        sweep = SeedSweepWorkspace(group)
+        order = 1 << group[0].family.m
+        out = np.empty((1, order), dtype=np.float64)
+        with pytest.raises(RuntimeError):
+            dispatcher.sweep_val1(sweep, order, 16, out)
+        assert leaked_segments() == []
+
+    def test_attach_does_not_adopt_lifetime(self):
+        shm = create_sweep_shm(128)
+        name = shm.name
+        borrowed = attach_sweep_shm(name)
+        borrowed.close()
+        shm.close()
+        shm.unlink()
+        assert leaked_segments() == []
+
+    def test_dispatcher_declines_small_and_giant_sweeps(self):
+        group = random_group(1, seed=8)
+        sweep = SeedSweepWorkspace(group)
+        order = 1 << group[0].family.m
+        out = np.empty((1, order), dtype=np.float64)
+        never = SeedChunkDispatcher(
+            lambda: pytest.fail("pool must not be touched"), WORKERS,
+            min_entries=1 << 40,
+        )
+        assert never.sweep_val1(sweep, order, 16, out) is False
+        giant = SeedChunkDispatcher(
+            lambda: pytest.fail("pool must not be touched"), WORKERS,
+            max_entries=1,
+        )
+        assert giant.sweep_val1(sweep, order, 16, out) is False
+
+
+# ----------------------------------------------------------------------
+# 3. End-to-end byte-identity, fork and spawn, ragged chunk counts.
+# ----------------------------------------------------------------------
+class TestSeedParallelEquivalence:
+    @pytest.mark.parametrize("chunks", [2, 3, 5])
+    def test_solve_homogeneous_identical(self, seed_backend, chunks):
+        batch = homogeneous_batch()
+        serial = solve_list_coloring_batch(batch)
+        before = len(seed_backend.sweep_telemetry)
+        seed_backend._sweep_dispatcher().chunks = chunks
+        try:
+            parallel = solve_list_coloring_batch(batch, backend=seed_backend)
+        finally:
+            seed_backend._sweep_dispatcher().chunks = None
+        assert_batch_results_equal(serial, parallel, f"seed-axis chunks={chunks}")
+        assert len(seed_backend.sweep_telemetry) > before, "dispatch never fired"
+        assert seed_backend.telemetry[-1]["mode"] == "seed"
+        assert leaked_segments() == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_solve_random_chunk_counts_identical(self, seed_backend, seed):
+        rng = np.random.default_rng(seed)
+        copies = int(rng.integers(1, 5))
+        n = int(rng.integers(20, 60))
+        batch = BatchedListColoringInstance.from_instances(
+            [
+                make_delta_plus_one_instance(
+                    gen.gnp_graph(n, 0.2, seed=int(rng.integers(0, 100)))
+                )
+            ]
+            * copies
+        )
+        serial = solve_list_coloring_batch(batch)
+        seed_backend._sweep_dispatcher().chunks = int(rng.integers(2, 9))
+        try:
+            parallel = solve_list_coloring_batch(batch, backend=seed_backend)
+        finally:
+            seed_backend._sweep_dispatcher().chunks = None
+        assert_batch_results_equal(serial, parallel, f"random chunks seed={seed}")
+
+    def test_partial_pass_with_ledgers_identical(self, seed_backend):
+        batch = homogeneous_batch(copies=3)
+        k = batch.num_instances
+        psis = np.concatenate(
+            [np.arange(inst.n, dtype=np.int64) for inst in batch.split()]
+        )
+        nums = [max(2, inst.n) for inst in batch.split()]
+        serial_ledgers = [RoundLedger() for _ in range(k)]
+        serial = partial_coloring_pass_batch(
+            batch, psis, nums, ledgers=serial_ledgers
+        )
+        parallel_ledgers = [RoundLedger() for _ in range(k)]
+        seed_backend._sweep_dispatcher().chunks = 3
+        try:
+            parallel = seed_backend.partial_pass_batch(
+                batch, psis, nums, ledgers=parallel_ledgers
+            )
+        finally:
+            seed_backend._sweep_dispatcher().chunks = None
+        for i, (s, p) in enumerate(zip(serial, parallel)):
+            assert_outcomes_equal(s, p, f"outcome[{i}]")
+        for i, (s, p) in enumerate(zip(serial_ledgers, parallel_ledgers)):
+            assert_ledgers_equal(s, p, f"ledger[{i}]")
+        assert seed_backend.telemetry[-1]["mode"] == "seed"
+
+    def test_both_mode_identical(self, seed_backend):
+        # 'both' needs requested_shards > effective_shards, so a dedicated
+        # 4-worker backend: the heterogeneous batch has only two fusion
+        # runs, leaving two of the four requested shards unusable.
+        batch = heterogeneous_batch()
+        serial = solve_list_coloring_batch(batch)
+        backend = ProcessBackend(workers=4, start_method=seed_backend.start_method)
+        try:
+            backend.cost_model.sweep_fraction = 0.99  # sweeps dominate
+            backend._sweep_dispatcher().chunks = 3
+            parallel = solve_list_coloring_batch(batch, backend=backend)
+        finally:
+            backend.close()
+        assert_batch_results_equal(serial, parallel, "both-mode")
+        record = backend.telemetry[-1]
+        assert record["mode"] == "both"
+        assert record["effective_shards"] < record["requested_shards"]
+
+    def test_dispatch_scope_routes_phase_groups(self):
+        group = random_group(3, buckets=2, seed=9)
+        reference = derandomize_phase_group(group)
+
+        class CountingDispatcher:
+            calls = 0
+
+            def sweep_val1(self, sweep, order, chunk_size, out):
+                type(self).calls += 1
+                return False  # decline → serial loop must take over
+
+        assert current_sweep_dispatcher() is None
+        with sweep_dispatch_scope(CountingDispatcher()):
+            assert current_sweep_dispatcher() is not None
+            routed = derandomize_phase_group(group)
+        assert current_sweep_dispatcher() is None
+        assert CountingDispatcher.calls == 1
+        for got, want in zip(routed, reference):
+            assert got.s1 == want.s1 and got.sigma == want.sigma
+            assert got.conditional_trace == want.conditional_trace
+
+
+# ----------------------------------------------------------------------
+# 4. Planner: effective shard count surfaced, cost model units.
+# ----------------------------------------------------------------------
+class TestPlannerAndCostModel:
+    def test_effective_shards_surfaced_for_homogeneous_batch(self):
+        batch = homogeneous_batch()
+        plan = plan_shards(batch, 4)
+        assert plan.requested_shards == 4
+        assert plan.effective_shards == 1
+        assert plan.max_weight_share == 1.0
+
+    def test_effective_shards_in_backend_telemetry(self, seed_backend):
+        batch = homogeneous_batch(copies=2, n=12)
+        solve_list_coloring_batch(batch, backend=seed_backend)
+        record = seed_backend.telemetry[-1]
+        assert record["effective_shards"] == 1
+        assert record["requested_shards"] == min(WORKERS, batch.num_instances)
+
+    def test_vectorized_signatures_match_reference(self):
+        from repro.core.instances import ceil_log2
+
+        rng = np.random.default_rng(11)
+        instances = []
+        for _ in range(7):
+            n = int(rng.integers(1, 20))
+            instances.append(
+                make_delta_plus_one_instance(gen.random_tree(n, seed=int(rng.integers(0, 99))))
+                if n > 1
+                else make_delta_plus_one_instance(gen.star_graph(2))
+            )
+        batch = BatchedListColoringInstance.from_instances(instances)
+        sig = fusion_signatures(batch)
+        assert sig.shape == (batch.num_instances, 2)
+        for i in range(batch.num_instances):
+            lo, hi = batch.instance_offsets[i], batch.instance_offsets[i + 1]
+            delta = (
+                int(batch.graph.degrees[lo:hi].max()) if hi > lo else 0
+            )
+            want = (max(1, ceil_log2(int(batch.color_spaces[i]))), delta)
+            assert tuple(sig[i]) == want
+
+    def test_plan_weights_override(self):
+        batch = heterogeneous_batch()
+        # Huge weight on the last run pulls the cut toward isolating it.
+        weights = np.array([1.0, 1.0, 100.0, 100.0])
+        plan = plan_shards(batch, 2, weights=weights)
+        assert plan.effective_shards == 2
+        assert plan.shard_weights[-1] >= plan.shard_weights[0]
+
+    def test_cost_model_observations(self):
+        model = SweepCostModel(alpha=1.0)
+        model.observe_sweep(
+            entries=1000, chunks=2, kernel_seconds=1e-3, wall_seconds=2e-3
+        )
+        assert model.unit_seconds == pytest.approx(1e-6)
+        assert model.chunk_overhead == pytest.approx(5e-4)
+        model.observe_sweep_fraction(3.0, 4.0)
+        assert model.sweep_fraction == pytest.approx(0.75)
+        model.observe_shard((5, 3), nodes=100, wall_seconds=2.0)
+        assert model.node_seconds[(5, 3)] == pytest.approx(0.02)
+
+    def test_cost_model_plan_chunks_bounds(self):
+        model = SweepCostModel()
+        assert model.plan_chunks(1 << 20, 64, 1) == 1
+        chunks = model.plan_chunks(1 << 20, 64, 4)
+        assert 1 <= chunks <= 8
+        # Tiny sweeps cannot afford even one extra dispatch.
+        model.unit_seconds = 1e-12
+        assert model.plan_chunks(16, 2, 4) == 1
+
+    def test_cost_model_instance_weights_fallback(self):
+        model = SweepCostModel()
+        signatures = np.array([[5, 3], [6, 4]])
+        sizes = np.array([10, 20])
+        assert np.array_equal(
+            model.instance_weights(signatures, sizes), [10.0, 20.0]
+        )
+        model.node_seconds[(5, 3)] = 0.5
+        weighted = model.instance_weights(signatures, sizes)
+        assert weighted[0] == pytest.approx(5.0)
+        assert weighted[1] == pytest.approx(10.0)  # median fallback rate
+
+    def test_seed_mode_share(self):
+        model = SweepCostModel()
+        model.sweep_fraction = 0.8
+        assert model.seed_mode_share(1) == 1.0
+        assert model.seed_mode_share(4) == pytest.approx(0.2 + 0.8 / 4)
+
+    def test_sweep_workers_zero_disables_seed_axis(self):
+        backend = ProcessBackend(workers=2, sweep_workers=0)
+        try:
+            batch = homogeneous_batch(copies=2, n=12)
+            serial = solve_list_coloring_batch(batch)
+            parallel = solve_list_coloring_batch(batch, backend=backend)
+            assert_batch_results_equal(serial, parallel, "seed axis off")
+            assert backend.telemetry[-1]["mode"] == "instance"
+            assert backend.sweep_telemetry == []
+        finally:
+            backend.close()
