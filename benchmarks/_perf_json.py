@@ -18,6 +18,13 @@ trend line.  Format (documented in ROADMAP.md):
 ``guard``
     ``"ok"`` (threshold met), ``"skip"`` (host cannot run the guard,
     e.g. too few cores — identity checks still enforced), ``"fail"``.
+``identity``
+    Result of the byte-identity assertions (``"ok"`` when they ran and
+    passed, else absent/None).  Benchmarks assert identity *before*
+    timing, so a record with ``guard: "skip"`` and ``identity: "ok"``
+    still proves correctness on hosts where the speedup guard cannot run
+    — without this field a 1-core host's record looked like nothing was
+    verified at all.
 ``host``
     ``cpu_count`` / ``python`` / ``platform`` — the context needed to
     compare records across machines honestly.
@@ -59,6 +66,7 @@ def write_perf_json(
     speedup: float | None = None,
     min_speedup: float | None = None,
     guard: str | None = None,
+    identity: str | None = None,
 ) -> None:
     record = {
         "bench": bench,
@@ -67,6 +75,7 @@ def write_perf_json(
         "speedup": speedup,
         "min_speedup": min_speedup,
         "guard": guard,
+        "identity": identity,
         "host": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),

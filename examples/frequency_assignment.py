@@ -9,13 +9,26 @@ interferers, which is exactly the paper's (degree+1)-list-coloring setting.
 The deterministic CONGEST algorithm assigns channels so that no two
 interfering stations share one, in O(D·polylog) simulated rounds and
 without any randomness (no retry storms, reproducible plans).
+
+The second half simulates *repeated traffic*: regulators revise the
+channel lists every few hours, so the operator re-plans a stream of
+perturbed instances over the same towers.  A
+:class:`~repro.core.sweep_cache.SweepResultCache` memoizes each plan's
+seed-sweep integer count matrices by kernel fingerprint; re-planning the
+same stream hits the cache and skips the 2^m enumerations entirely —
+while producing byte-identical assignments (the float weighting always
+re-runs, so a warm plan IS the cold plan).
 """
+
+import time
 
 import numpy as np
 
 from repro import (
     ListColoringInstance,
+    SweepResultCache,
     solve_list_coloring_congest,
+    sweep_cache_scope,
     verify_proper_list_coloring,
 )
 from repro.graphs.graph import Graph
@@ -48,6 +61,49 @@ def allowed_channels(graph: Graph, spectrum: int, seed: int):
     return lists
 
 
+def repeated_traffic_demo(graph: Graph, spectrum: int, ticks: int = 5) -> None:
+    """Re-plan a stream of perturbed instances twice: cold, then warm.
+
+    Each tick re-samples the regulatory lists (a new licensing round over
+    the same towers); the stream is then solved a second time, as a
+    serving layer replaying the same requests would.  The second sweep of
+    the stream is pure cache hits — identical assignments, a fraction of
+    the wall clock.
+    """
+    stream = [
+        ListColoringInstance(
+            graph, spectrum, allowed_channels(graph, spectrum, seed=100 + t)
+        )
+        for t in range(ticks)
+    ]
+    cache = SweepResultCache(max_bytes=64 << 20)
+    with sweep_cache_scope(cache):
+        start = time.perf_counter()
+        cold_plans = [solve_list_coloring_congest(inst) for inst in stream]
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_plans = [solve_list_coloring_congest(inst) for inst in stream]
+        warm_seconds = time.perf_counter() - start
+    for inst, cold, warm in zip(stream, cold_plans, warm_plans):
+        verify_proper_list_coloring(inst, cold.colors)
+        assert (cold.colors == warm.colors).all()
+    stats = cache.stats()
+    lookups = stats["hits"] + stats["misses"]
+    print(f"\nrepeated traffic: {ticks} perturbed instances, solved twice")
+    print(
+        f"  sweep cache: {stats['hits']}/{lookups} hits "
+        f"({100.0 * stats['hits'] / max(1, lookups):.0f}%), "
+        f"{stats['entries']} entries, "
+        f"{stats['memory_bytes'] / 1e6:.1f} MB resident"
+    )
+    print(
+        f"  cold pass: {cold_seconds * 1000:7.1f} ms   "
+        f"warm pass: {warm_seconds * 1000:7.1f} ms   "
+        f"({cold_seconds / warm_seconds:.2f}x)"
+    )
+    print("  warm assignments are byte-identical to the cold plans")
+
+
 def main() -> None:
     spectrum = 48  # channels
     graph, _positions = build_interference_graph(60, radius=0.22, seed=7)
@@ -72,6 +128,8 @@ def main() -> None:
     again = solve_list_coloring_congest(instance)
     assert (again.colors == result.colors).all()
     print("re-run produced the identical assignment (fully deterministic)")
+
+    repeated_traffic_demo(graph, spectrum)
 
 
 if __name__ == "__main__":

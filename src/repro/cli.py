@@ -16,6 +16,11 @@ the batched solver core — the process backend shards batches across a
 worker pool and/or fans each phase's seed sweep out over shared memory,
 and produces byte-identical results either way, so the JSON records
 (including the coloring hash) do not depend on the backend.
+``--sweep-cache memory|disk`` (with ``--sweep-cache-mb`` and, for the
+disk tier, ``--sweep-cache-dir``) memoizes the seed sweeps' integer count
+matrices by kernel fingerprint — warm repeated runs skip the 2^m integer
+enumeration, still byte-identically, so the coloring hash does not depend
+on the cache either.
 
 Examples::
 
@@ -59,7 +64,23 @@ def _build_graph(family: str, n: int, degree: int, seed: int):
     raise SystemExit(f"unknown family {family!r}")
 
 
-def _make_backend(args):
+def _make_sweep_cache(args):
+    """Resolve the ``--sweep-cache*`` knobs into a cache (or None)."""
+    mode = getattr(args, "sweep_cache", "off")
+    if mode == "off":
+        return None
+    from repro.core.sweep_cache import SweepResultCache
+
+    directory = getattr(args, "sweep_cache_dir", None)
+    if mode == "disk" and directory is None:
+        raise SystemExit("--sweep-cache disk requires --sweep-cache-dir")
+    return SweepResultCache(
+        max_bytes=int(args.sweep_cache_mb * (1 << 20)),
+        directory=directory if mode == "disk" else None,
+    )
+
+
+def _make_backend(args, sweep_cache=None):
     """Resolve ``--backend``/``--workers`` into a shared backend (or None).
 
     One backend instance per command invocation so the process pool is
@@ -73,6 +94,7 @@ def _make_backend(args):
         args.backend,
         workers=args.workers,
         sweep_workers=getattr(args, "sweep_workers", None),
+        sweep_cache=sweep_cache,
     )
 
 
@@ -121,9 +143,15 @@ def _solver_record(args, graph, solver: str, result) -> dict:
 def cmd_color(args) -> int:
     graph = _build_graph(args.family, args.n, args.degree, args.seed)
     instance = make_delta_plus_one_instance(graph)
-    backend = _make_backend(args)
+    sweep_cache = _make_sweep_cache(args)
+    backend = _make_backend(args, sweep_cache)
+    from repro.core.derandomize import sweep_cache_scope
+
     try:
-        result = _solve(instance, args.solver, backend)
+        # The ambient scope covers the serial path; the process backend
+        # additionally carries the cache into its inline dispatch modes.
+        with sweep_cache_scope(sweep_cache):
+            result = _solve(instance, args.solver, backend)
     finally:
         if backend is not None:
             backend.close()
@@ -145,12 +173,16 @@ def cmd_compare(args) -> int:
     instance = make_delta_plus_one_instance(graph)
     solvers = ("congest", "polylog", "clique", "mpc-linear", "mpc-sublinear")
     records = []
-    backend = _make_backend(args)
+    sweep_cache = _make_sweep_cache(args)
+    backend = _make_backend(args, sweep_cache)
+    from repro.core.derandomize import sweep_cache_scope
+
     try:
-        for solver in solvers:
-            result = _solve(instance, solver, backend)
-            verify_proper_list_coloring(instance, result.colors)
-            records.append(_solver_record(args, graph, solver, result))
+        with sweep_cache_scope(sweep_cache):
+            for solver in solvers:
+                result = _solve(instance, solver, backend)
+                verify_proper_list_coloring(instance, result.colors)
+                records.append(_solver_record(args, graph, solver, result))
     finally:
         if backend is not None:
             backend.close()
@@ -214,6 +246,26 @@ def main(argv=None) -> int:
                 help="seed-axis parallelism of the process backend "
                 "(pool fan-out of each 2^m seed sweep; default: "
                 "--workers, 0 disables the seed axis)",
+            )
+            p.add_argument(
+                "--sweep-cache",
+                choices=("off", "memory", "disk"),
+                default="off",
+                help="memoize seed-sweep count matrices by kernel "
+                "fingerprint (byte-identical results; 'disk' persists "
+                "entries under --sweep-cache-dir)",
+            )
+            p.add_argument(
+                "--sweep-cache-mb",
+                type=float,
+                default=256.0,
+                help="byte budget of the in-memory cache tier (MiB)",
+            )
+            p.add_argument(
+                "--sweep-cache-dir",
+                default=None,
+                help="directory of the on-disk cache tier "
+                "(required for --sweep-cache disk)",
             )
         if name == "color":
             p.add_argument("--solver", default="congest")

@@ -36,10 +36,12 @@ from repro.core.potential import (
 
 __all__ = [
     "SeedChoice",
+    "current_sweep_cache",
     "current_sweep_dispatcher",
     "fix_bits_greedily",
     "derandomize_phase",
     "derandomize_phase_group",
+    "sweep_cache_scope",
     "sweep_dispatch_scope",
 ]
 
@@ -78,6 +80,41 @@ def sweep_dispatch_scope(dispatcher):
         yield dispatcher
     finally:
         _sweep_dispatcher_var.reset(token)
+
+
+#: Ambient sweep-result cache (None → every sweep recomputes).  A cache is
+#: any object with the :class:`repro.core.sweep_cache.SweepResultCache`
+#: surface — ``load(kernel, order)``, ``store(kernel, counts)``, and
+#: ``admits(nbytes)`` — keyed by the kernel fingerprint and holding pure
+#: int64 count matrices.  Only the integer half of a sweep is ever cached;
+#: the float ``weight_rows`` step re-runs on every hit, which is what makes
+#: warm results byte-identical to cold ones (the weights are not a function
+#: of the fingerprint).
+_sweep_cache_var: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_sweep_cache", default=None
+)
+
+
+def current_sweep_cache():
+    """The ambient sweep-result cache, or ``None`` when memoization is off."""
+    return _sweep_cache_var.get()
+
+
+@contextmanager
+def sweep_cache_scope(cache):
+    """Install ``cache`` as the ambient sweep-result cache.
+
+    Grouped sweeps started inside the scope consult it before running the
+    integer kernel (serial loop and seed-axis fan-out alike) and store
+    their count matrices on a miss.  ``None`` disables memoization, which
+    nested scopes (e.g. shard worker entry points) use to shield a region
+    from an outer cache.
+    """
+    token = _sweep_cache_var.set(cache)
+    try:
+        yield cache
+    finally:
+        _sweep_cache_var.reset(token)
 
 
 @dataclass
@@ -172,6 +209,7 @@ def derandomize_phase_group(
     strict: bool = True,
     compress: bool = True,
     sweep_dispatcher=None,
+    sweep_cache=None,
 ) -> list:
     """Derandomize one phase of many instances against one seed sweep.
 
@@ -195,6 +233,14 @@ def derandomize_phase_group(
     seed axis; its output is bit-identical to the serial loop because the
     integer kernel is elementwise per seed row and the float weighting
     stays single-threaded (see :meth:`SeedSweepWorkspace.weight_rows`).
+    ``sweep_cache`` (default: the ambient one from
+    :func:`sweep_cache_scope`) memoizes the integer count matrix by kernel
+    fingerprint: a hit skips the 2^m integer enumeration entirely — only
+    ``weight_rows`` runs — and a miss materializes the counts (through the
+    dispatcher's seed-axis ``sweep_counts`` fan-out when one is installed,
+    else serially), weights them, and stores them for the next sweep with
+    the same fingerprint.  Warm results are byte-identical because the
+    float step always re-runs over the same integers in the same order.
     """
     estimators = list(estimators)
     if not estimators:
@@ -203,18 +249,45 @@ def derandomize_phase_group(
     order = 1 << m
     if sweep_dispatcher is None:
         sweep_dispatcher = _sweep_dispatcher_var.get()
+    if sweep_cache is None:
+        sweep_cache = _sweep_cache_var.get()
 
     sweep = SeedSweepWorkspace(estimators, compress=compress)
     val1 = np.empty((len(estimators), order), dtype=np.float64)
-    dispatched = False
-    if sweep_dispatcher is not None and sweep.live:
-        dispatched = sweep_dispatcher.sweep_val1(sweep, order, chunk_size, val1)
-    if not dispatched:
+    counts = None
+    if sweep_cache is not None and sweep.live:
+        kernel = sweep.kernel
+        counts = sweep_cache.load(kernel, order)
+        if counts is None and sweep_cache.admits(kernel.count_nbytes(order)):
+            # Miss: materialize the full integer matrix (the cacheable
+            # artifact), preferring the dispatcher's counts-only fan-out.
+            counts = np.empty((order, kernel.count_width), dtype=np.int64)
+            fan_out = getattr(sweep_dispatcher, "sweep_counts", None)
+            filled = fan_out(sweep, order, counts) if fan_out is not None else False
+            if not filled:
+                for start in range(0, order, chunk_size):
+                    stop = min(order, start + chunk_size)
+                    kernel.count_rows(
+                        np.arange(start, stop, dtype=np.int64),
+                        out=counts[start:stop],
+                    )
+            sweep_cache.store(kernel, counts)
+    if counts is not None:
+        # Hit (or freshly stored): the float step over the cached integers,
+        # in the serial chunk order — byte-identical to the cache-off path.
         for start in range(0, order, chunk_size):
             stop = min(order, start + chunk_size)
-            sweep.expected_rows(
-                np.arange(start, stop, dtype=np.int64), out=val1[:, start:stop]
-            )
+            sweep.weight_rows(counts[start:stop], out=val1[:, start:stop])
+    else:
+        dispatched = False
+        if sweep_dispatcher is not None and sweep.live:
+            dispatched = sweep_dispatcher.sweep_val1(sweep, order, chunk_size, val1)
+        if not dispatched:
+            for start in range(0, order, chunk_size):
+                stop = min(order, start + chunk_size)
+                sweep.expected_rows(
+                    np.arange(start, stop, dtype=np.int64), out=val1[:, start:stop]
+                )
 
     # Fix every instance's s1 bits first (one vectorized greedy descent over
     # all rows), then evaluate the exact σ arrays for the whole group in one

@@ -134,6 +134,7 @@ def partial_coloring_pass_batch(
     rng: np.random.Generator | None = None,
     backend=None,
     sweep_dispatcher=None,
+    sweep_cache=None,
 ) -> list[PartialColoringOutcome]:
     """One Lemma 2.1 pass on every instance of ``batch`` at once.
 
@@ -145,8 +146,9 @@ def partial_coloring_pass_batch(
     :func:`~repro.core.list_coloring.solve_list_coloring_batch`; with a
     process backend the worker ledgers are replayed event-by-event into
     the caller's ``ledgers``.  ``sweep_dispatcher`` routes the grouped
-    seed sweeps of the serial path (ignored when a non-serial ``backend``
-    takes over, which installs its own dispatch scope).
+    seed sweeps of the serial path and ``sweep_cache`` memoizes their
+    integer count matrices (both ignored when a non-serial ``backend``
+    takes over, which installs its own dispatch and cache scopes).
     """
     if backend is not None:
         from repro.parallel.backend import SerialBackend, backend_scope
@@ -208,6 +210,7 @@ def partial_coloring_pass_batch(
             strict=strict,
             rng=rng,
             sweep_dispatcher=sweep_dispatcher,
+            sweep_cache=sweep_cache,
         )
 
         threshold = 1 if avoid_mis else 3

@@ -138,7 +138,11 @@ class SweepCountKernel:
     total of per-bucket alive column counts for the r > 1 interval loop
     (laid out block by block in bucket order).  :attr:`fingerprint`
     identifies the kernel's exact inputs (a stable sha256 over the family
-    parameters and column arrays) for worker-side caches and telemetry.
+    parameters and column arrays) — the key of the sweep-result cache
+    (:mod:`repro.core.sweep_cache`) as well as the label worker-side
+    caches and telemetry use.  Same fingerprint ⇒ same inputs ⇒ the same
+    integer count matrix, which is why cached counts can be reused
+    verbatim while the float weighting is always re-applied fresh.
     """
 
     def __init__(
@@ -220,6 +224,12 @@ class SweepCountKernel:
         state = self.__dict__.copy()
         state["_family"] = None  # rebuilt lazily; GF tables never pickled
         return state
+
+    def count_nbytes(self, order: int) -> int:
+        """Bytes of the full int64 count matrix for ``order`` seed rows —
+        the size a sweep-result cache must budget for before admitting
+        this kernel (see :mod:`repro.core.sweep_cache`)."""
+        return 8 * int(order) * self.count_width
 
     def count_rows(
         self, s1_values: np.ndarray, out: np.ndarray | None = None

@@ -178,6 +178,7 @@ def extend_prefixes_batch(
     rng: np.random.Generator | None = None,
     accuracy_override: int | None = None,
     sweep_dispatcher=None,
+    sweep_cache=None,
 ) -> list[PrefixResult]:
     """Run the full prefix extension on every instance of ``batch`` at once.
 
@@ -187,9 +188,10 @@ def extend_prefixes_batch(
     :class:`PrefixResult` per instance, each identical to what
     :func:`extend_prefixes` would produce on that instance alone.  With
     ``rng``, random seeds are drawn per phase in instance order.
-    ``sweep_dispatcher`` routes the grouped seed sweeps (see
+    ``sweep_dispatcher`` routes the grouped seed sweeps and ``sweep_cache``
+    memoizes their integer count matrices (see
     :func:`~repro.core.derandomize.derandomize_phase_group`); results are
-    bit-identical with or without one.
+    bit-identical with or without either.
     """
     k = batch.num_instances
     if k == 0:
@@ -328,6 +330,7 @@ def extend_prefixes_batch(
                     [estimators[i] for i in members],
                     strict=strict,
                     sweep_dispatcher=sweep_dispatcher,
+                    sweep_cache=sweep_cache,
                 )
                 for i, choice in zip(members, group_choices):
                     choices[i] = choice

@@ -44,6 +44,15 @@ __all__ = ["GF2m", "poly_mul_mod", "is_irreducible", "find_irreducible"]
 #: beyond this the peasant kernel is used.
 _LOG_TABLE_MAX_M = 20
 
+#: Module-level memo of the log/antilog tables keyed by ``(m, modulus)``.
+#: The tables are a pure function of the field parameters, but only
+#: :func:`get_field` instances were shared — every directly constructed
+#: ``GF2m`` (repeated small solves, benchmarks flipping ``use_tables``,
+#: worker processes rebuilding pickled kernels) paid the full generator
+#: search and table fill again.  Entries are read-only arrays shared by
+#: every instance of the same field.
+_TABLE_CACHE: dict = {}
+
 
 def _poly_mul(a: int, b: int) -> int:
     """Carry-less (polynomial) multiplication of two GF(2)[x] polynomials."""
@@ -238,6 +247,10 @@ class GF2m:
                 f"log/antilog tables need O(2^m) memory and are only "
                 f"supported for m <= {_LOG_TABLE_MAX_M}, got m={self.m}"
             )
+        cached = _TABLE_CACHE.get((self.m, self.modulus))
+        if cached is not None:
+            self.generator, self._exp, self._log = cached
+            return
         group_order = self.order - 1
         g = self._find_generator()
         exp = np.empty(max(2 * group_order, 1), dtype=np.int64)
@@ -255,6 +268,11 @@ class GF2m:
         exp[group_order:2 * group_order] = exp[:group_order]
         log = np.zeros(self.order, dtype=np.int64)
         log[exp[:group_order]] = np.arange(group_order, dtype=np.int64)
+        # Shared read-only across all instances of this field — mul_vec
+        # only ever gathers from the tables.
+        exp.setflags(write=False)
+        log.setflags(write=False)
+        _TABLE_CACHE[(self.m, self.modulus)] = (g, exp, log)
         self.generator = g
         self._exp = exp
         self._log = log

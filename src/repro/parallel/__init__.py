@@ -8,7 +8,11 @@ serial path (:class:`SerialBackend`, the default).  When fusion runs
 leave too few instance cuts, the same pool instead fans the per-phase
 2^m seed enumeration out over shared memory
 (:class:`SeedChunkDispatcher`), chosen per batch by a measured
-:class:`SweepCostModel` — still byte-identical.
+:class:`SweepCostModel` — still byte-identical.  A
+:class:`~repro.core.sweep_cache.SweepResultCache` handed to
+``ProcessBackend(sweep_cache=...)`` memoizes the sweeps' integer count
+matrices across dispatches, with per-dispatch hit/miss deltas in the
+backend telemetry.
 """
 
 from repro.parallel.backend import (

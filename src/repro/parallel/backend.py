@@ -36,10 +36,15 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 
 import numpy as np
 
-from repro.core.derandomize import sweep_dispatch_scope
+from repro.core.derandomize import (
+    current_sweep_cache,
+    sweep_cache_scope,
+    sweep_dispatch_scope,
+)
 from repro.parallel.sharding import (
     merge_solve_results,
     plan_shards,
@@ -134,6 +139,17 @@ class ProcessBackend(Backend):
         fresh one.  Shared across calls, it is calibrated online from the
         timings this backend measures — per-shard wall times feed the
         planner weights, per-sweep kernel times feed the chunker.
+    sweep_cache:
+        A :class:`~repro.core.sweep_cache.SweepResultCache` (or ``None``).
+        Installed around every inline dispatch (the ``seed`` / ``both``
+        modes and the single-shard fallback), so repeated batches reuse
+        their integer count matrices; misses fan out through the
+        dispatcher's ``sweep_counts``.  With ``None``, an ambient cache
+        from :func:`~repro.core.derandomize.sweep_cache_scope` still
+        applies.  Per-dispatch hit/miss/store/eviction deltas are attached
+        to the telemetry record under ``"cache"``, and the cost model's
+        sweep-fraction calibration is skipped on fully-warm dispatches
+        (no sweep was fanned out, so there is nothing to observe).
 
     Per dispatch the backend plans over *both* axes and picks a mode:
 
@@ -169,6 +185,7 @@ class ProcessBackend(Backend):
         keep_fusion_runs: bool = True,
         sweep_workers: int | None = None,
         cost_model: SweepCostModel | None = None,
+        sweep_cache=None,
     ):
         import multiprocessing as mp
 
@@ -189,6 +206,7 @@ class ProcessBackend(Backend):
         if self.sweep_workers < 0:
             raise ValueError(f"sweep_workers must be >= 0, got {sweep_workers}")
         self.cost_model = cost_model if cost_model is not None else SweepCostModel()
+        self.sweep_cache = sweep_cache
         self.telemetry: list[dict] = []
         self.sweep_telemetry: list[dict] = []
         self._executor: ProcessPoolExecutor | None = None
@@ -219,6 +237,18 @@ class ProcessBackend(Backend):
                 telemetry=self.sweep_telemetry,
             )
         return self._dispatcher
+
+    def _active_cache(self):
+        """The cache inline dispatches will consult: the backend's own, or
+        the ambient one already installed by the caller."""
+        return self.sweep_cache if self.sweep_cache is not None else current_sweep_cache()
+
+    def _cache_scope(self):
+        """Scope installing the backend's cache around an inline dispatch
+        (a no-op that preserves any ambient cache when it has none)."""
+        if self.sweep_cache is None:
+            return nullcontext()
+        return sweep_cache_scope(self.sweep_cache)
 
     def _plan(self, batch):
         """Two-axis shard plan for ``batch``: fusion-run-aligned bounds
@@ -254,17 +284,38 @@ class ProcessBackend(Backend):
             return "instance"
         return "both"
 
-    def _record(self, op: str, mode: str, plan, wall: float, sweeps_before: int):
-        self.telemetry.append(
-            {
-                "op": op,
-                "mode": mode,
-                "requested_shards": int(plan.requested_shards),
-                "effective_shards": int(plan.effective_shards),
-                "wall_seconds": wall,
+    def _record(
+        self,
+        op: str,
+        mode: str,
+        plan,
+        wall: float,
+        sweeps_before: int,
+        cache=None,
+        cache_before=None,
+    ):
+        record = {
+            "op": op,
+            "mode": mode,
+            "requested_shards": int(plan.requested_shards),
+            "effective_shards": int(plan.effective_shards),
+            "wall_seconds": wall,
+        }
+        if cache is not None and cache_before is not None:
+            after = cache.stats()
+            # Counters as this-dispatch deltas; occupancy as absolutes.
+            absolute = ("memory_bytes", "entries")
+            record["cache"] = {
+                key: value if key in absolute else value - cache_before[key]
+                for key, value in after.items()
             }
-        )
-        if mode in ("seed", "both"):
+        self.telemetry.append(record)
+        if mode in ("seed", "both") and len(self.sweep_telemetry) > sweeps_before:
+            # Fully-warm dispatches (every sweep served from the cache) fan
+            # nothing out; folding their zero sweep share into the model
+            # would drag the Amdahl estimate toward serial and mis-plan the
+            # next cold batch, so calibration only runs when a sweep
+            # actually dispatched.
             sweep_seconds = sum(
                 entry["wall_seconds"]
                 for entry in self.sweep_telemetry[sweeps_before:]
@@ -298,6 +349,8 @@ class ProcessBackend(Backend):
         plan = self._plan(batch)
         mode = self._choose_mode(plan)
         sweeps_before = len(self.sweep_telemetry)
+        cache = self._active_cache()
+        cache_before = cache.stats() if cache is not None else None
         start_time = time.perf_counter()
 
         def solve_inline(sub_batch, lo, hi):
@@ -312,11 +365,11 @@ class ProcessBackend(Backend):
             )
 
         if mode == "seed":
-            with sweep_dispatch_scope(self._sweep_dispatcher()):
+            with sweep_dispatch_scope(self._sweep_dispatcher()), self._cache_scope():
                 result = solve_inline(batch, 0, batch.num_instances)
         elif mode == "both":
             bounds = plan.bounds
-            with sweep_dispatch_scope(self._sweep_dispatcher()):
+            with sweep_dispatch_scope(self._sweep_dispatcher()), self._cache_scope():
                 result = merge_solve_results(
                     solve_inline(shard, lo, hi)
                     for shard, lo, hi in zip(
@@ -327,7 +380,8 @@ class ProcessBackend(Backend):
                 )
         elif plan.effective_shards <= 1:
             # one shard, seed axis off: run inline, skip slicing and IPC
-            result = solve_inline(batch, 0, batch.num_instances)
+            with self._cache_scope():
+                result = solve_inline(batch, 0, batch.num_instances)
         else:
             bounds = plan.bounds
             payloads = [
@@ -358,7 +412,8 @@ class ProcessBackend(Backend):
             result = merge_solve_results(res for res, _secs in timed)
 
         self._record(
-            "solve", mode, plan, time.perf_counter() - start_time, sweeps_before
+            "solve", mode, plan, time.perf_counter() - start_time, sweeps_before,
+            cache=cache, cache_before=cache_before,
         )
         return result
 
@@ -388,6 +443,8 @@ class ProcessBackend(Backend):
         plan = self._plan(batch)
         mode = self._choose_mode(plan)
         sweeps_before = len(self.sweep_telemetry)
+        cache = self._active_cache()
+        cache_before = cache.stats() if cache is not None else None
         start_time = time.perf_counter()
         psis = np.asarray(psis, dtype=np.int64)
 
@@ -406,12 +463,12 @@ class ProcessBackend(Backend):
             )
 
         if mode == "seed":
-            with sweep_dispatch_scope(self._sweep_dispatcher()):
+            with sweep_dispatch_scope(self._sweep_dispatcher()), self._cache_scope():
                 outcomes = pass_inline(batch, 0, k)
         elif mode == "both":
             bounds = plan.bounds
             outcomes = []
-            with sweep_dispatch_scope(self._sweep_dispatcher()):
+            with sweep_dispatch_scope(self._sweep_dispatcher()), self._cache_scope():
                 for shard, lo, hi in zip(
                     batch.shard(bounds),
                     bounds[:-1].tolist(),
@@ -420,7 +477,8 @@ class ProcessBackend(Backend):
                     outcomes.extend(pass_inline(shard, lo, hi))
         elif plan.effective_shards <= 1:
             # one shard, seed axis off: run inline, skip slicing and IPC
-            outcomes = pass_inline(batch, 0, k)
+            with self._cache_scope():
+                outcomes = pass_inline(batch, 0, k)
         else:
             bounds = plan.bounds
             payloads = []
@@ -469,7 +527,7 @@ class ProcessBackend(Backend):
 
         self._record(
             "partial_pass", mode, plan, time.perf_counter() - start_time,
-            sweeps_before,
+            sweeps_before, cache=cache, cache_before=cache_before,
         )
         return outcomes
 
@@ -503,14 +561,17 @@ def backend_scope(spec, workers: int | None = None) -> _BackendScope:
 
 
 def resolve_backend(
-    backend, workers: int | None = None, sweep_workers: int | None = None
+    backend,
+    workers: int | None = None,
+    sweep_workers: int | None = None,
+    sweep_cache=None,
 ) -> Backend:
     """Coerce ``None`` / a name / a :class:`Backend` into a backend.
 
     ``None`` and ``"serial"`` give the in-process default; ``"process"``
     builds a :class:`ProcessBackend` (with ``workers`` / ``sweep_workers``
-    if given).  Backend instances pass through untouched, so callers can
-    share one pool.
+    / ``sweep_cache`` if given).  Backend instances pass through
+    untouched, so callers can share one pool.
     """
     if backend is None:
         return SerialBackend()
@@ -520,7 +581,11 @@ def resolve_backend(
         if backend == "serial":
             return SerialBackend()
         if backend == "process":
-            return ProcessBackend(workers=workers, sweep_workers=sweep_workers)
+            return ProcessBackend(
+                workers=workers,
+                sweep_workers=sweep_workers,
+                sweep_cache=sweep_cache,
+            )
         raise ValueError(
             f"unknown backend {backend!r} (expected 'serial' or 'process')"
         )

@@ -203,7 +203,10 @@ class SeedChunkDispatcher:
     chunk_size, out)`` fills the full ``val1`` matrix and returns True, or
     declines (too little work to beat dispatch overhead, count matrix too
     large for a sane segment) and returns False so the serial chunk loop
-    runs.
+    runs.  ``sweep_counts(sweep, order, out)`` is the counts-only variant
+    the sweep-result cache uses on a miss: same planning and fan-out, but
+    the integer matrix is copied out unweighted for the coordinator to
+    weight and store.
 
     ``pool_factory`` is called per dispatch so the backend's lazily
     created ``ProcessPoolExecutor`` is shared between both axes.
@@ -231,31 +234,36 @@ class SeedChunkDispatcher:
         #: copy — a forked copy must decline so the serial loop runs there.
         self._pid = os.getpid()
 
-    def sweep_val1(self, sweep, order: int, chunk_size: int, out: np.ndarray) -> bool:
-        from repro.parallel.worker import sweep_chunk_counts
-
+    def _plan(self, kernel, order: int) -> int:
+        """Chunk count for one sweep, or 0 to decline the dispatch."""
         if os.getpid() != self._pid:
-            return False
-        kernel = sweep.kernel
+            return 0
         if kernel is None or kernel.count_width == 0 or self.workers <= 1:
-            return False
+            return 0
         entries = order * kernel.count_width
         if entries > self.max_entries:
-            return False
+            return 0
         if self.chunks is not None:
             chunks = max(1, min(int(self.chunks), order))
         else:
             if entries < self.min_entries:
-                return False
+                return 0
             chunks = self.cost_model.plan_chunks(
                 order, kernel.count_width, self.workers
             )
-        if chunks <= 1:
-            return False
+        return chunks if chunks > 1 else 0
+
+    def _fan_out(self, kernel, order: int, chunks: int, consume):
+        """Run the chunked integer fan-out and hand the assembled count
+        matrix (a view into the shared segment) to ``consume`` before the
+        segment is released.  Returns ``(consume_result, kernel_seconds,
+        wall_seconds)``."""
+        from repro.parallel.worker import sweep_chunk_counts
 
         # Exact integer chunk edges: covers [0, order) for any chunk count,
         # dividing or not.
         edges = (order * np.arange(chunks + 1, dtype=np.int64)) // chunks
+        entries = order * kernel.count_width
         start_time = time.perf_counter()
         shm = create_sweep_shm(entries * np.dtype(np.int64).itemsize)
         kernel_seconds = 0.0
@@ -277,22 +285,24 @@ class SeedChunkDispatcher:
                 (order, kernel.count_width), dtype=np.int64, buffer=shm.buf
             )
             try:
-                # The float step: single-threaded, serial chunk order — the
-                # byte-identity anchor.  Row blocks are independent, so the
-                # serial chunk_size granularity is kept purely to bound the
-                # workspace buffers.
-                weight_start = time.perf_counter()
-                for start in range(0, order, chunk_size):
-                    stop = min(order, start + chunk_size)
-                    sweep.weight_rows(counts[start:stop], out=out[:, start:stop])
-                weight_seconds = time.perf_counter() - weight_start
+                result = consume(counts)
             finally:
                 del counts  # drop the buffer view before close()
         finally:
             shm.close()
             shm.unlink()
+        return result, kernel_seconds, time.perf_counter() - start_time
 
-        wall_seconds = time.perf_counter() - start_time
+    def _record(
+        self,
+        kernel,
+        order: int,
+        chunks: int,
+        kernel_seconds: float,
+        wall_seconds: float,
+        weight_seconds: float | None,
+    ) -> None:
+        entries = order * kernel.count_width
         self.cost_model.observe_sweep(entries, chunks, kernel_seconds, wall_seconds)
         self.telemetry.append(
             {
@@ -305,4 +315,45 @@ class SeedChunkDispatcher:
                 "fingerprint": kernel.fingerprint,
             }
         )
+
+    def sweep_val1(self, sweep, order: int, chunk_size: int, out: np.ndarray) -> bool:
+        kernel = sweep.kernel
+        chunks = self._plan(kernel, order)
+        if not chunks:
+            return False
+
+        def weight(counts: np.ndarray) -> float:
+            # The float step: single-threaded, serial chunk order — the
+            # byte-identity anchor.  Row blocks are independent, so the
+            # serial chunk_size granularity is kept purely to bound the
+            # workspace buffers.
+            weight_start = time.perf_counter()
+            for start in range(0, order, chunk_size):
+                stop = min(order, start + chunk_size)
+                sweep.weight_rows(counts[start:stop], out=out[:, start:stop])
+            return time.perf_counter() - weight_start
+
+        weight_seconds, kernel_seconds, wall_seconds = self._fan_out(
+            kernel, order, chunks, weight
+        )
+        self._record(
+            kernel, order, chunks, kernel_seconds, wall_seconds, weight_seconds
+        )
+        return True
+
+    def sweep_counts(self, sweep, order: int, out: np.ndarray) -> bool:
+        """Counts-only fan-out (the sweep-cache miss path): fill ``out``
+        with the full int64 count matrix and return True, or decline
+        exactly as :meth:`sweep_val1` would.  No float weighting happens
+        here — the coordinator re-applies ``weight_rows`` itself (and the
+        cache stores the pure integers), recorded as ``weight_seconds:
+        None`` in telemetry."""
+        kernel = sweep.kernel
+        chunks = self._plan(kernel, order)
+        if not chunks:
+            return False
+        _, kernel_seconds, wall_seconds = self._fan_out(
+            kernel, order, chunks, lambda counts: np.copyto(out, counts)
+        )
+        self._record(kernel, order, chunks, kernel_seconds, wall_seconds, None)
         return True

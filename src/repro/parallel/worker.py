@@ -31,13 +31,16 @@ def solve_shard(payload):
     The null dispatch scope matters under ``fork``: workers forked while
     the coordinator held a seed-axis scope would inherit its contextvar —
     and with it a dead copy of the coordinator's pool — so shard solves
-    explicitly pin the serial sweep loop.
+    explicitly pin the serial sweep loop.  The null cache scope is pinned
+    for the same reason: a forked worker would otherwise inherit the
+    coordinator's sweep-result cache and grow a private, never-shared
+    copy of it in every pool process.
     """
     shard, kwargs = payload
-    from repro.core.derandomize import sweep_dispatch_scope
+    from repro.core.derandomize import sweep_cache_scope, sweep_dispatch_scope
     from repro.core.list_coloring import solve_list_coloring_batch
 
-    with sweep_dispatch_scope(None):
+    with sweep_dispatch_scope(None), sweep_cache_scope(None):
         return solve_list_coloring_batch(shard, **kwargs)
 
 
@@ -86,11 +89,11 @@ def partial_pass_shard(payload):
     dispatcher can replay its events into the caller's ledger.
     """
     shard, psis, nums_input_colors, ledger_mask, kwargs = payload
-    from repro.core.derandomize import sweep_dispatch_scope
+    from repro.core.derandomize import sweep_cache_scope, sweep_dispatch_scope
     from repro.core.partial_coloring import partial_coloring_pass_batch
 
     ledgers = [RoundLedger() if has else None for has in ledger_mask]
-    with sweep_dispatch_scope(None):
+    with sweep_dispatch_scope(None), sweep_cache_scope(None):
         outcomes = partial_coloring_pass_batch(
             shard, psis, nums_input_colors, ledgers=ledgers, **kwargs
         )

@@ -1,0 +1,466 @@
+"""Tests for the fingerprint-keyed sweep-result cache.
+
+Four layers, mirroring the subsystem's structure:
+
+1. **Cache unit behavior** — bitwise store/load round-trips, LRU
+   eviction under a tiny byte budget, read-only entries, admission.
+2. **Derandomize integration** — cold, warm, and uncached grouped
+   sweeps produce identical SeedChoices; the dispatcher's counts-only
+   fan-out is used on misses and dispatchers without one still work.
+3. **Disk tier** — persistence across cache instances, atomicity of the
+   entry files, and corrupted / truncated / mismatched entries falling
+   back to recompute (plus repair-by-overwrite).
+4. **Process backend** — cache-aware solves under fork and spawn are
+   byte-identical to serial, telemetry carries per-dispatch cache
+   deltas, fully-warm dispatches skip cost-model calibration, and the
+   kernel fingerprint is stable across process boundaries.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.derandomize import (
+    current_sweep_cache,
+    derandomize_phase_group,
+    sweep_cache_scope,
+)
+from repro.core.instances import (
+    BatchedListColoringInstance,
+    make_delta_plus_one_instance,
+)
+from repro.core.list_coloring import solve_list_coloring_batch
+from repro.core.potential import SeedSweepWorkspace, SweepCountKernel
+from repro.core.sweep_cache import SweepResultCache
+from repro.graphs import generators as gen
+from repro.parallel import SHM_PREFIX, ProcessBackend
+
+from equivalence import assert_batch_results_equal, assert_seed_choices_equal
+from test_seed_sweep_compression import random_group
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+START_METHODS = [m for m in ("fork", "spawn") if m in mp.get_all_start_methods()]
+
+
+def leaked_segments() -> list:
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+def make_sweep(seed: int = 0, buckets: int = 2, n: int = 30):
+    group = random_group(3, buckets=buckets, seed=seed, n=n)
+    sweep = SeedSweepWorkspace(group)
+    order = 1 << group[0].family.m
+    return group, sweep, order
+
+
+def full_counts(sweep, order: int) -> np.ndarray:
+    return sweep.kernel.count_rows(np.arange(order, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# 1. Cache unit behavior
+# ----------------------------------------------------------------------
+class TestCacheUnit:
+    def test_store_load_roundtrip_bitwise(self):
+        _, sweep, order = make_sweep()
+        counts = full_counts(sweep, order)
+        reference = counts.copy()
+        cache = SweepResultCache()
+        assert cache.load(sweep.kernel, order) is None
+        cache.store(sweep.kernel, counts)
+        loaded = cache.load(sweep.kernel, order)
+        assert loaded is not None
+        assert np.array_equal(loaded, reference)
+        assert loaded.dtype == np.int64
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["stores"] == 1 and stats["entries"] == 1
+        assert stats["memory_bytes"] == reference.nbytes
+
+    def test_entries_are_read_only(self):
+        _, sweep, order = make_sweep()
+        cache = SweepResultCache()
+        cache.store(sweep.kernel, full_counts(sweep, order))
+        loaded = cache.load(sweep.kernel, order)
+        with pytest.raises(ValueError):
+            loaded[0, 0] = 1
+
+    def test_distinct_fingerprints_are_distinct_entries(self):
+        cache = SweepResultCache()
+        sweeps = []
+        for seed in range(3):
+            _, sweep, order = make_sweep(seed=seed)
+            cache.store(sweep.kernel, full_counts(sweep, order))
+            sweeps.append((sweep, order))
+        assert cache.stats()["entries"] == 3
+        for sweep, order in sweeps:
+            loaded = cache.load(sweep.kernel, order)
+            assert np.array_equal(loaded, full_counts(sweep, order))
+
+    def test_lru_eviction_under_tiny_budget(self):
+        """A budget of ~two entries keeps the two most recently used."""
+        entries = []
+        for seed in range(3):
+            _, sweep, order = make_sweep(seed=seed)
+            entries.append((sweep, order, full_counts(sweep, order)))
+        nbytes = entries[0][2].nbytes
+        cache = SweepResultCache(max_bytes=2 * nbytes + nbytes // 2)
+        for sweep, order, counts in entries:
+            cache.store(sweep.kernel, counts)
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        assert stats["memory_bytes"] <= cache.max_bytes
+        # Oldest (seed 0) was evicted; the two newer ones survive.
+        assert cache.load(entries[0][0].kernel, entries[0][1]) is None
+        assert cache.load(entries[1][0].kernel, entries[1][1]) is not None
+        assert cache.load(entries[2][0].kernel, entries[2][1]) is not None
+
+    def test_lru_order_follows_hits(self):
+        entries = []
+        for seed in range(3):
+            _, sweep, order = make_sweep(seed=seed)
+            entries.append((sweep, order, full_counts(sweep, order)))
+        nbytes = entries[0][2].nbytes
+        cache = SweepResultCache(max_bytes=2 * nbytes + nbytes // 2)
+        cache.store(entries[0][0].kernel, entries[0][2])
+        cache.store(entries[1][0].kernel, entries[1][2])
+        # Touch entry 0 so entry 1 becomes least recently used.
+        assert cache.load(entries[0][0].kernel, entries[0][1]) is not None
+        cache.store(entries[2][0].kernel, entries[2][2])
+        assert cache.load(entries[1][0].kernel, entries[1][1]) is None
+        assert cache.load(entries[0][0].kernel, entries[0][1]) is not None
+
+    def test_oversized_entry_skips_memory_tier(self, tmp_path):
+        _, sweep, order = make_sweep()
+        counts = full_counts(sweep, order)
+        memory_only = SweepResultCache(max_bytes=counts.nbytes - 1)
+        assert not memory_only.admits(counts.nbytes)
+        with_disk = SweepResultCache(
+            max_bytes=counts.nbytes - 1, directory=tmp_path
+        )
+        assert with_disk.admits(counts.nbytes)
+        with_disk.store(sweep.kernel, counts)
+        assert with_disk.stats()["entries"] == 0  # too big for memory
+        assert with_disk.stats()["evictions"] == 0
+        loaded = with_disk.load(sweep.kernel, order)  # served from disk
+        assert np.array_equal(loaded, counts)
+        assert with_disk.stats()["disk_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# 2. Derandomize integration
+# ----------------------------------------------------------------------
+class TestDerandomizeWithCache:
+    @pytest.mark.parametrize("buckets", [2, 4])
+    def test_warm_equals_cold_equals_uncached(self, buckets):
+        group = random_group(3, buckets=buckets, seed=2)
+        reference = derandomize_phase_group(group)
+        cache = SweepResultCache()
+        cold = derandomize_phase_group(group, sweep_cache=cache)
+        warm = derandomize_phase_group(group, sweep_cache=cache)
+        stats = cache.stats()
+        assert stats["stores"] == 1 and stats["hits"] == 1
+        for label, actual in (("cold", cold), ("warm", warm)):
+            for i, (ref, got) in enumerate(zip(reference, actual)):
+                assert_seed_choices_equal(ref, got, f"{label}[{i}]")
+
+    def test_ambient_scope(self):
+        group = random_group(2, seed=3)
+        cache = SweepResultCache()
+        assert current_sweep_cache() is None
+        with sweep_cache_scope(cache):
+            assert current_sweep_cache() is cache
+            derandomize_phase_group(group)
+            with sweep_cache_scope(None):  # nested shield
+                assert current_sweep_cache() is None
+                derandomize_phase_group(group)
+        assert current_sweep_cache() is None
+        # One store from the scoped call, nothing from the shielded one.
+        assert cache.stats()["stores"] == 1
+        assert cache.stats()["hits"] == 0
+
+    def test_rejected_admission_falls_back_to_streaming(self):
+        group = random_group(2, seed=4)
+        reference = derandomize_phase_group(group)
+        cache = SweepResultCache(max_bytes=0)  # admits nothing
+        choices = derandomize_phase_group(group, sweep_cache=cache)
+        assert cache.stats()["stores"] == 0
+        assert cache.stats()["misses"] == 1
+        for i, (ref, got) in enumerate(zip(reference, choices)):
+            assert_seed_choices_equal(ref, got, f"streamed[{i}]")
+
+    def test_miss_uses_dispatcher_sweep_counts(self):
+        """On a miss the counts-only fan-out is preferred; the val1 path
+        must not run (the cache owns the weighting)."""
+        group = random_group(3, seed=5)
+        reference = derandomize_phase_group(group)
+
+        class CountsDispatcher:
+            calls = 0
+            val1_calls = 0
+
+            def sweep_val1(self, sweep, order, chunk_size, out):
+                type(self).val1_calls += 1
+                return False
+
+            def sweep_counts(self, sweep, order, out):
+                type(self).calls += 1
+                sweep.kernel.count_rows(
+                    np.arange(order, dtype=np.int64), out=out
+                )
+                return True
+
+        cache = SweepResultCache()
+        choices = derandomize_phase_group(
+            group, sweep_dispatcher=CountsDispatcher(), sweep_cache=cache
+        )
+        assert CountsDispatcher.calls == 1
+        assert CountsDispatcher.val1_calls == 0
+        assert cache.stats()["stores"] == 1
+        for i, (ref, got) in enumerate(zip(reference, choices)):
+            assert_seed_choices_equal(ref, got, f"fanout[{i}]")
+
+    def test_dispatcher_without_sweep_counts_still_works(self):
+        """Pre-cache dispatchers (only ``sweep_val1``) are still valid:
+        the miss path falls back to the serial kernel fill."""
+        group = random_group(2, seed=6)
+        reference = derandomize_phase_group(group)
+
+        class LegacyDispatcher:
+            def sweep_val1(self, sweep, order, chunk_size, out):
+                return False
+
+        cache = SweepResultCache()
+        choices = derandomize_phase_group(
+            group, sweep_dispatcher=LegacyDispatcher(), sweep_cache=cache
+        )
+        assert cache.stats()["stores"] == 1
+        for i, (ref, got) in enumerate(zip(reference, choices)):
+            assert_seed_choices_equal(ref, got, f"legacy[{i}]")
+
+    def test_declining_sweep_counts_falls_back_serial(self):
+        group = random_group(2, seed=7)
+        reference = derandomize_phase_group(group)
+
+        class DecliningDispatcher:
+            def sweep_val1(self, sweep, order, chunk_size, out):
+                return False
+
+            def sweep_counts(self, sweep, order, out):
+                return False  # e.g. too little work, forked copy
+
+        cache = SweepResultCache()
+        choices = derandomize_phase_group(
+            group, sweep_dispatcher=DecliningDispatcher(), sweep_cache=cache
+        )
+        assert cache.stats()["stores"] == 1
+        for i, (ref, got) in enumerate(zip(reference, choices)):
+            assert_seed_choices_equal(ref, got, f"declined[{i}]")
+
+
+# ----------------------------------------------------------------------
+# 3. Disk tier
+# ----------------------------------------------------------------------
+class TestDiskTier:
+    def test_roundtrip_across_cache_instances(self, tmp_path):
+        _, sweep, order = make_sweep(seed=8)
+        counts = full_counts(sweep, order)
+        writer = SweepResultCache(directory=tmp_path)
+        writer.store(sweep.kernel, counts)
+        assert writer.stats()["disk_stores"] == 1
+        # A fresh cache (fresh process, conceptually) hits via disk.
+        reader = SweepResultCache(directory=tmp_path)
+        loaded = reader.load(sweep.kernel, order)
+        assert np.array_equal(loaded, counts)
+        stats = reader.stats()
+        assert stats["disk_hits"] == 1 and stats["hits"] == 1
+        # The disk hit was promoted into the memory tier.
+        assert stats["entries"] == 1
+        reader.load(sweep.kernel, order)
+        assert reader.stats()["disk_hits"] == 1  # second hit from memory
+
+    def test_entry_files_are_fingerprint_named(self, tmp_path):
+        _, sweep, order = make_sweep(seed=8)
+        cache = SweepResultCache(directory=tmp_path)
+        cache.store(sweep.kernel, full_counts(sweep, order))
+        path = tmp_path / (sweep.kernel.fingerprint + ".npy")
+        assert path.exists()
+        # No leftover temp files from the atomic write.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["garbage", "truncated", "empty", "wrong_shape", "wrong_dtype"],
+    )
+    def test_corrupt_entries_fall_back_to_recompute(self, tmp_path, corruption):
+        _, sweep, order = make_sweep(seed=9)
+        counts = full_counts(sweep, order)
+        seeder = SweepResultCache(directory=tmp_path)
+        seeder.store(sweep.kernel, counts)
+        path = tmp_path / (sweep.kernel.fingerprint + ".npy")
+        if corruption == "garbage":
+            path.write_bytes(b"this is not a npy file")
+        elif corruption == "truncated":
+            good = path.read_bytes()
+            path.write_bytes(good[: len(good) // 2])
+        elif corruption == "empty":
+            path.write_bytes(b"")
+        elif corruption == "wrong_shape":
+            np.save(path, counts[: order // 2])
+        elif corruption == "wrong_dtype":
+            np.save(path, counts.astype(np.float64))
+
+        cache = SweepResultCache(directory=tmp_path)
+        assert cache.load(sweep.kernel, order) is None
+        stats = cache.stats()
+        assert stats["disk_errors"] == 1 and stats["misses"] == 1
+        assert not path.exists()  # the bad entry was dropped...
+        cache.store(sweep.kernel, counts)  # ...and the recompute repairs it
+        fresh = SweepResultCache(directory=tmp_path)
+        assert np.array_equal(fresh.load(sweep.kernel, order), counts)
+
+    def test_corrupt_entry_heals_through_derandomize(self, tmp_path):
+        group = random_group(2, seed=10)
+        reference = derandomize_phase_group(group)
+        seed_cache = SweepResultCache(directory=tmp_path)
+        derandomize_phase_group(group, sweep_cache=seed_cache)
+        entries = list(tmp_path.glob("*.npy"))
+        assert len(entries) == 1
+        entries[0].write_bytes(b"corrupt")
+        cache = SweepResultCache(directory=tmp_path)
+        choices = derandomize_phase_group(group, sweep_cache=cache)
+        assert cache.stats()["disk_errors"] == 1
+        assert cache.stats()["stores"] == 1  # recomputed and rewritten
+        for i, (ref, got) in enumerate(zip(reference, choices)):
+            assert_seed_choices_equal(ref, got, f"healed[{i}]")
+        # The rewritten entry is valid again.
+        fresh = SweepResultCache(directory=tmp_path)
+        warm = derandomize_phase_group(group, sweep_cache=fresh)
+        assert fresh.stats()["disk_hits"] == 1
+        for i, (ref, got) in enumerate(zip(reference, warm)):
+            assert_seed_choices_equal(ref, got, f"rewarm[{i}]")
+
+
+# ----------------------------------------------------------------------
+# 4. Fingerprints across processes + the cache-aware backend
+# ----------------------------------------------------------------------
+def child_fingerprint(kernel: SweepCountKernel) -> str:
+    """Recompute the fingerprint in a worker (module-level: picklable)."""
+    rebuilt = SweepCountKernel(
+        kernel.a,
+        kernel.b,
+        kernel.num_buckets,
+        kernel.psi_diff,
+        kernel.thr_u,
+        kernel.thr_v,
+    )
+    return rebuilt.fingerprint
+
+
+class TestFingerprintStability:
+    def test_fingerprint_stable_across_processes(self):
+        """spawn re-imports everything from scratch — a fingerprint that
+        depended on process state (hash randomization, id(), dict order)
+        would break disk-tier sharing between processes."""
+        _, sweep, _order = make_sweep(seed=11)
+        kernel = sweep.kernel
+        ctx = mp.get_context("spawn" if "spawn" in mp.get_all_start_methods()
+                             else START_METHODS[0])
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            remote = pool.submit(child_fingerprint, kernel).result()
+        assert remote == kernel.fingerprint
+
+    def test_fingerprint_distinguishes_inputs(self):
+        _, sweep_a, _ = make_sweep(seed=12)
+        _, sweep_b, _ = make_sweep(seed=13)
+        assert sweep_a.kernel.fingerprint != sweep_b.kernel.fingerprint
+
+
+def homogeneous_batch(copies: int = 4, n: int = 40) -> BatchedListColoringInstance:
+    """All instances share one fusion signature → seed mode (inline)."""
+    instances = [
+        make_delta_plus_one_instance(gen.gnp_graph(n, 0.2, seed=7))
+        for _ in range(copies)
+    ]
+    return BatchedListColoringInstance.from_instances(instances)
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+class TestBackendCacheAware:
+    def test_warm_solves_identical_and_telemetry(self, start_method):
+        batch = homogeneous_batch()
+        serial = solve_list_coloring_batch(batch)
+        cache = SweepResultCache()
+        with ProcessBackend(
+            workers=WORKERS,
+            start_method=start_method,
+            sweep_cache=cache,
+        ) as backend:
+            cold = solve_list_coloring_batch(batch, backend=backend)
+            assert_batch_results_equal(serial, cold)
+            cold_record = backend.telemetry[-1]
+            assert cold_record["cache"]["stores"] > 0
+            assert cold_record["cache"]["hits"] == 0
+
+            sentinel = 0.777
+            backend.cost_model.sweep_fraction = sentinel
+            warm = solve_list_coloring_batch(batch, backend=backend)
+            assert_batch_results_equal(serial, warm)
+            warm_record = backend.telemetry[-1]
+            assert warm_record["cache"]["hits"] > 0
+            assert warm_record["cache"]["stores"] == 0
+            assert warm_record["cache"]["misses"] == 0
+            # Fully warm: no sweep dispatched, so the cost model must not
+            # have folded a zero sweep share into its Amdahl estimate.
+            assert backend.cost_model.sweep_fraction == sentinel
+        assert not leaked_segments()
+
+    def test_ambient_cache_reaches_inline_modes(self, start_method):
+        """A caller-scoped cache (no backend kwarg) is still consulted by
+        the backend's inline dispatch modes."""
+        batch = homogeneous_batch(copies=2)
+        serial = solve_list_coloring_batch(batch)
+        cache = SweepResultCache()
+        with ProcessBackend(
+            workers=WORKERS, start_method=start_method
+        ) as backend:
+            with sweep_cache_scope(cache):
+                cold = solve_list_coloring_batch(batch, backend=backend)
+                warm = solve_list_coloring_batch(batch, backend=backend)
+        assert_batch_results_equal(serial, cold)
+        assert_batch_results_equal(serial, warm)
+        assert cache.stats()["hits"] > 0
+        assert backend.telemetry[-1]["cache"]["hits"] > 0
+        assert not leaked_segments()
+
+    def test_instance_mode_workers_pin_cache_off(self, start_method):
+        """Sharded (instance-mode) dispatch must not grow per-worker cache
+        copies: the shard entry points pin a null cache scope, so the
+        coordinator cache sees no traffic from pool workers."""
+        instances = [
+            make_delta_plus_one_instance(gen.gnp_graph(30, 0.2, seed=s))
+            for s in range(4)
+        ]
+        batch = BatchedListColoringInstance.from_instances(instances)
+        serial = solve_list_coloring_batch(batch)
+        cache = SweepResultCache()
+        with ProcessBackend(
+            workers=WORKERS,
+            start_method=start_method,
+            sweep_workers=0,  # seed axis off → instance sharding
+            keep_fusion_runs=False,
+            sweep_cache=cache,
+        ) as backend:
+            result = solve_list_coloring_batch(batch, backend=backend)
+            mode = backend.telemetry[-1]["mode"]
+        assert_batch_results_equal(serial, result)
+        if mode == "instance" and backend.telemetry[-1]["effective_shards"] > 1:
+            assert cache.stats()["stores"] == 0
+        assert not leaked_segments()
