@@ -18,6 +18,11 @@ trend line.  Format (documented in ROADMAP.md):
 ``guard``
     ``"ok"`` (threshold met), ``"skip"`` (host cannot run the guard,
     e.g. too few cores — identity checks still enforced), ``"fail"``.
+``skip_reason``
+    Present exactly when ``guard`` is ``"skip"``: the human-readable
+    reason the guard could not run (e.g. ``"cpu_count 1 < 4 workers"``),
+    so a committed skip record explains itself without digging through
+    the benchmark's source.
 ``identity``
     Result of the byte-identity assertions (``"ok"`` when they ran and
     passed, else absent/None).  Benchmarks assert identity *before*
@@ -67,7 +72,13 @@ def write_perf_json(
     min_speedup: float | None = None,
     guard: str | None = None,
     identity: str | None = None,
+    skip_reason: str | None = None,
 ) -> None:
+    if (guard == "skip") != (skip_reason is not None):
+        raise ValueError(
+            "skip_reason must be given exactly when guard == 'skip', got "
+            f"guard={guard!r}, skip_reason={skip_reason!r}"
+        )
     record = {
         "bench": bench,
         "params": params,
@@ -82,6 +93,8 @@ def write_perf_json(
             "platform": sys.platform,
         },
     }
+    if skip_reason is not None:
+        record["skip_reason"] = skip_reason
     with open(path, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")

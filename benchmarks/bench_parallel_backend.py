@@ -129,12 +129,11 @@ def main() -> int:
 
     cores = os.cpu_count() or 1
     guard = "ok"
+    skip_reason = None
     if cores < args.workers:
         guard = "skip"
-        print(
-            f"SKIP speedup guard: {cores} cores < {args.workers} workers "
-            "(identity checks passed)"
-        )
+        skip_reason = f"cpu_count {cores} < {args.workers} workers"
+        print(f"SKIP speedup guard: {skip_reason} (identity checks passed)")
     elif speedup < args.min_speedup:
         guard = "fail"
         print(
@@ -155,6 +154,7 @@ def main() -> int:
             min_speedup=args.min_speedup,
             guard=guard,
             identity="ok",  # asserted above, before any timing
+            skip_reason=skip_reason,
         )
     return 1 if guard == "fail" else 0
 

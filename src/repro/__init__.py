@@ -32,6 +32,11 @@ Caching
     optional disk tier), installed ambiently via
     :func:`~repro.core.derandomize.sweep_cache_scope` or per backend via
     ``ProcessBackend(sweep_cache=...)``; warm solves stay byte-identical.
+Serving
+    :class:`~repro.serving.service.ColoringService` — async batch intake
+    with a fusion-keyed request coalescer (group by ``(⌈log C⌉, Δ)``,
+    solve as one fused batch) and streaming per-shard resolution; every
+    response byte-identical to the standalone solver call.
 Validation
     :func:`~repro.core.validation.verify_proper_list_coloring`
 Graphs
@@ -64,11 +69,13 @@ from repro.parallel import (
     SerialBackend,
     resolve_backend,
 )
+from repro.serving import ColoringService
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Backend",
+    "ColoringService",
     "Graph",
     "ProcessBackend",
     "SerialBackend",

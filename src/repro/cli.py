@@ -17,7 +17,8 @@ worker pool and/or fans each phase's seed sweep out over shared memory,
 and produces byte-identical results either way, so the JSON records
 (including the coloring hash) do not depend on the backend.
 ``--sweep-cache memory|disk`` (with ``--sweep-cache-mb`` and, for the
-disk tier, ``--sweep-cache-dir``) memoizes the seed sweeps' integer count
+disk tier, ``--sweep-cache-dir`` plus an optional ``--sweep-cache-disk-mb``
+byte budget) memoizes the seed sweeps' integer count
 matrices by kernel fingerprint — warm repeated runs skip the 2^m integer
 enumeration, still byte-identically, so the coloring hash does not depend
 on the cache either.
@@ -67,6 +68,9 @@ def _build_graph(family: str, n: int, degree: int, seed: int):
 def _make_sweep_cache(args):
     """Resolve the ``--sweep-cache*`` knobs into a cache (or None)."""
     mode = getattr(args, "sweep_cache", "off")
+    disk_mb = getattr(args, "sweep_cache_disk_mb", None)
+    if disk_mb is not None and mode != "disk":
+        raise SystemExit("--sweep-cache-disk-mb requires --sweep-cache disk")
     if mode == "off":
         return None
     from repro.core.sweep_cache import SweepResultCache
@@ -77,6 +81,7 @@ def _make_sweep_cache(args):
     return SweepResultCache(
         max_bytes=int(args.sweep_cache_mb * (1 << 20)),
         directory=directory if mode == "disk" else None,
+        disk_max_bytes=None if disk_mb is None else int(disk_mb * (1 << 20)),
     )
 
 
@@ -266,6 +271,14 @@ def main(argv=None) -> int:
                 default=None,
                 help="directory of the on-disk cache tier "
                 "(required for --sweep-cache disk)",
+            )
+            p.add_argument(
+                "--sweep-cache-disk-mb",
+                type=float,
+                default=None,
+                help="byte budget of the on-disk cache tier (MiB); "
+                "stores prune oldest-mtime entries past the budget "
+                "(default: unbounded)",
             )
         if name == "color":
             p.add_argument("--solver", default="congest")

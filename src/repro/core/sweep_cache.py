@@ -32,7 +32,11 @@ Two tiers:
   never observe partial writes.  Loads validate dtype and shape; any
   corrupt, truncated, or mismatched file counts as a miss (plus
   ``disk_errors``), is unlinked, and the sweep recomputes and rewrites
-  it.  Disk hits are promoted into the memory tier.
+  it.  Disk hits are promoted into the memory tier.  An optional
+  ``disk_max_bytes`` budget bounds the tier: every store prunes
+  oldest-mtime entries until the directory fits again (counted as
+  ``disk_evictions``), so a long-running service cannot grow the
+  directory without bound across restarts.
 
 The cache is consulted through the contextvar seam in
 :mod:`repro.core.derandomize` (``sweep_cache_scope``) — the same
@@ -63,15 +67,31 @@ class SweepResultCache:
         Optional directory for the on-disk tier; created if missing.
         Entries are ``<fingerprint>.npy`` files shared by every process
         pointed at the same directory.
+    disk_max_bytes:
+        Optional byte budget of the on-disk tier (``None`` = unbounded,
+        the pre-budget behaviour).  Enforced after every disk store by
+        unlinking the oldest-mtime ``.npy`` entries until the directory
+        fits; each unlink counts as a ``disk_evictions``.  A pruned
+        entry is simply a future disk miss that recomputes and rewrites.
     """
 
-    def __init__(self, max_bytes: int = 256 << 20, directory=None):
+    def __init__(
+        self,
+        max_bytes: int = 256 << 20,
+        directory=None,
+        disk_max_bytes: int | None = None,
+    ):
         self.max_bytes = int(max_bytes)
         if self.max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.directory = os.fspath(directory) if directory is not None else None
         if self.directory is not None:
             os.makedirs(self.directory, exist_ok=True)
+        self.disk_max_bytes = None if disk_max_bytes is None else int(disk_max_bytes)
+        if self.disk_max_bytes is not None and self.disk_max_bytes < 0:
+            raise ValueError(
+                f"disk_max_bytes must be >= 0 or None, got {disk_max_bytes}"
+            )
         self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
         self.memory_bytes = 0
         self.hits = 0
@@ -81,6 +101,7 @@ class SweepResultCache:
         self.disk_hits = 0
         self.disk_stores = 0
         self.disk_errors = 0
+        self.disk_evictions = 0
 
     # ------------------------------------------------------------------
     def admits(self, nbytes: int) -> bool:
@@ -140,6 +161,7 @@ class SweepResultCache:
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
             "disk_errors": self.disk_errors,
+            "disk_evictions": self.disk_evictions,
         }
 
     def clear(self) -> None:
@@ -175,6 +197,7 @@ class SweepResultCache:
             os.replace(tmp_path, self._disk_path(key))
             tmp_path = None
             self.disk_stores += 1
+            self._prune_disk()
         except OSError:
             self.disk_errors += 1
         finally:
@@ -183,6 +206,36 @@ class SweepResultCache:
                     os.unlink(tmp_path)
                 except OSError:
                     pass
+
+    def _prune_disk(self) -> None:
+        """Enforce ``disk_max_bytes``: unlink oldest-mtime entries until the
+        tier fits.  The just-stored entry has the newest mtime, so it goes
+        last — it is only pruned if it alone exceeds the whole budget."""
+        if self.disk_max_bytes is None:
+            return
+        entries = []
+        total = 0
+        with os.scandir(self.directory) as scan:
+            for entry in scan:
+                if not entry.name.endswith(".npy"):
+                    continue
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, entry.name, stat.st_size))
+                total += stat.st_size
+        entries.sort()
+        for _mtime, name, size in entries:
+            if total <= self.disk_max_bytes:
+                break
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:
+                self.disk_errors += 1
+                continue
+            total -= size
+            self.disk_evictions += 1
 
     def _load_disk(self, key: str, shape: tuple) -> np.ndarray | None:
         path = self._disk_path(key)

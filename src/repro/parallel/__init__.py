@@ -25,6 +25,7 @@ from repro.parallel.backend import (
 from repro.parallel.sharding import (
     ShardPlan,
     fusion_signatures,
+    instance_fusion_signature,
     merge_solve_results,
     plan_shard_bounds,
     plan_shards,
@@ -46,6 +47,7 @@ __all__ = [
     "SweepCostModel",
     "backend_scope",
     "fusion_signatures",
+    "instance_fusion_signature",
     "merge_solve_results",
     "plan_shard_bounds",
     "plan_shards",

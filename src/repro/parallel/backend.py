@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import nullcontext
 
 import numpy as np
@@ -75,6 +75,24 @@ class Backend:
 
     def solve_batch(self, batch, **kwargs):
         raise NotImplementedError
+
+    def solve_batch_iter(self, batch, **kwargs):
+        """Yield ``(lo, hi, BatchColoringResult)`` chunks of the solve.
+
+        Chunk ``(lo, hi, result)`` carries the results of instances
+        ``[lo, hi)``; together the chunks tile ``[0, num_instances)``
+        exactly once, in *no guaranteed order*.  Sorting by ``lo`` and
+        concatenating reproduces :meth:`solve_batch` byte-identically —
+        that is the streaming contract the serving layer builds on (a
+        consumer may resolve chunk ``[lo, hi)`` the moment it lands
+        instead of waiting for the merge barrier).
+
+        The default implementation is one chunk covering the whole batch;
+        executors with real shard-level completion override it.
+        """
+        result = self.solve_batch(batch, **kwargs)
+        if batch.num_instances:
+            yield (0, batch.num_instances, result)
 
     def partial_pass_batch(self, batch, psis, nums_input_colors, **kwargs):
         raise NotImplementedError
@@ -334,20 +352,87 @@ class ProcessBackend(Backend):
         input_colorings=None,
         nums_input_colors=None,
     ):
-        from repro.core.list_coloring import (
-            BatchColoringResult,
-            solve_list_coloring_batch,
+        # Drain-and-merge over the streaming iterator: chunks arrive in
+        # completion order, sorting by instance range restores batch order,
+        # so the merged result is byte-identical to the pre-streaming path
+        # (the golden suite pins this).
+        chunks = sorted(
+            self.solve_batch_iter(
+                batch,
+                r_schedule=r_schedule,
+                strict=strict,
+                rng=rng,
+                verify=verify,
+                comm_depths=comm_depths,
+                input_colorings=input_colorings,
+                nums_input_colors=nums_input_colors,
+            ),
+            key=lambda chunk: chunk[0],
         )
+        return merge_solve_results(result for _lo, _hi, result in chunks)
 
+    def solve_batch_iter(
+        self,
+        batch,
+        r_schedule=None,
+        strict: bool = True,
+        rng=None,
+        verify: bool = True,
+        comm_depths=None,
+        input_colorings=None,
+        nums_input_colors=None,
+    ):
+        """Stream the solve: yield ``(lo, hi, BatchColoringResult)`` per
+        shard as it completes (see :meth:`Backend.solve_batch_iter`).
+
+        In ``instance`` mode shard solves are submitted to the pool and
+        yielded through :func:`concurrent.futures.as_completed` — a fast
+        shard lands before a slow one regardless of batch position, so a
+        streaming consumer (the serving layer) resolves its requests at
+        shard granularity instead of the merge barrier.  ``both`` mode
+        yields each fusion-run shard after its inline solve; ``seed`` and
+        single-shard dispatches yield one chunk covering the whole batch.
+        Closing the iterator early cancels not-yet-started shard futures
+        (running ones finish; the pool stays reusable) and still appends
+        the telemetry record.  The telemetry ``wall_seconds`` of a
+        streamed dispatch includes any time the consumer spends between
+        chunks.
+        """
         if rng is not None:
             raise ValueError(
                 "the process backend requires derandomized solves "
                 "(rng draws are ordered across the whole batch)"
             )
         if batch.num_instances == 0:
-            return BatchColoringResult()
+            return iter(())
         plan = self._plan(batch)
         mode = self._choose_mode(plan)
+        return self._solve_chunks(
+            batch,
+            plan,
+            mode,
+            r_schedule,
+            strict,
+            verify,
+            comm_depths,
+            input_colorings,
+            nums_input_colors,
+        )
+
+    def _solve_chunks(
+        self,
+        batch,
+        plan,
+        mode,
+        r_schedule,
+        strict,
+        verify,
+        comm_depths,
+        input_colorings,
+        nums_input_colors,
+    ):
+        from repro.core.list_coloring import solve_list_coloring_batch
+
         sweeps_before = len(self.sweep_telemetry)
         cache = self._active_cache()
         cache_before = cache.stats() if cache is not None else None
@@ -364,58 +449,79 @@ class ProcessBackend(Backend):
                 nums_input_colors=_slice(nums_input_colors, lo, hi),
             )
 
-        if mode == "seed":
-            with sweep_dispatch_scope(self._sweep_dispatcher()), self._cache_scope():
-                result = solve_inline(batch, 0, batch.num_instances)
-        elif mode == "both":
-            bounds = plan.bounds
-            with sweep_dispatch_scope(self._sweep_dispatcher()), self._cache_scope():
-                result = merge_solve_results(
-                    solve_inline(shard, lo, hi)
+        try:
+            if mode == "seed":
+                with sweep_dispatch_scope(
+                    self._sweep_dispatcher()
+                ), self._cache_scope():
+                    result = solve_inline(batch, 0, batch.num_instances)
+                yield (0, batch.num_instances, result)
+            elif mode == "both":
+                bounds = plan.bounds
+                with sweep_dispatch_scope(
+                    self._sweep_dispatcher()
+                ), self._cache_scope():
                     for shard, lo, hi in zip(
                         batch.shard(bounds),
                         bounds[:-1].tolist(),
                         bounds[1:].tolist(),
+                    ):
+                        yield (lo, hi, solve_inline(shard, lo, hi))
+            elif plan.effective_shards <= 1:
+                # one shard, seed axis off: run inline, skip slicing and IPC
+                with self._cache_scope():
+                    result = solve_inline(batch, 0, batch.num_instances)
+                yield (0, batch.num_instances, result)
+            else:
+                bounds = plan.bounds
+                pool = self._pool()
+                futures = {}
+                for j, (shard, lo, hi) in enumerate(
+                    zip(
+                        batch.shard(bounds),
+                        bounds[:-1].tolist(),
+                        bounds[1:].tolist(),
                     )
-                )
-        elif plan.effective_shards <= 1:
-            # one shard, seed axis off: run inline, skip slicing and IPC
-            with self._cache_scope():
-                result = solve_inline(batch, 0, batch.num_instances)
-        else:
-            bounds = plan.bounds
-            payloads = [
-                (
-                    shard,
-                    dict(
-                        r_schedule=r_schedule,
-                        strict=strict,
-                        verify=verify,
-                        comm_depths=_slice(comm_depths, lo, hi),
-                        input_colorings=_slice(input_colorings, lo, hi),
-                        nums_input_colors=_slice(nums_input_colors, lo, hi),
-                    ),
-                )
-                for shard, lo, hi in zip(
-                    batch.shard(bounds), bounds[:-1].tolist(), bounds[1:].tolist()
-                )
-            ]
-            timed = list(self._pool().map(solve_shard_timed, payloads))
-            for j, (_res, seconds) in enumerate(timed):
-                nodes = int(
-                    batch.instance_offsets[bounds[j + 1]]
-                    - batch.instance_offsets[bounds[j]]
-                )
-                self.cost_model.observe_shard(
-                    plan.shard_signature(j), nodes, seconds
-                )
-            result = merge_solve_results(res for res, _secs in timed)
-
-        self._record(
-            "solve", mode, plan, time.perf_counter() - start_time, sweeps_before,
-            cache=cache, cache_before=cache_before,
-        )
-        return result
+                ):
+                    payload = (
+                        shard,
+                        dict(
+                            r_schedule=r_schedule,
+                            strict=strict,
+                            verify=verify,
+                            comm_depths=_slice(comm_depths, lo, hi),
+                            input_colorings=_slice(input_colorings, lo, hi),
+                            nums_input_colors=_slice(nums_input_colors, lo, hi),
+                        ),
+                    )
+                    futures[pool.submit(solve_shard_timed, payload)] = j
+                try:
+                    for future in as_completed(futures):
+                        j = futures[future]
+                        result, seconds = future.result()
+                        nodes = int(
+                            batch.instance_offsets[bounds[j + 1]]
+                            - batch.instance_offsets[bounds[j]]
+                        )
+                        self.cost_model.observe_shard(
+                            plan.shard_signature(j), nodes, seconds
+                        )
+                        yield (int(bounds[j]), int(bounds[j + 1]), result)
+                finally:
+                    # Early close (GeneratorExit) or a shard failure: drop
+                    # shards that have not started; the pool survives.
+                    for future in futures:
+                        future.cancel()
+        finally:
+            self._record(
+                "solve",
+                mode,
+                plan,
+                time.perf_counter() - start_time,
+                sweeps_before,
+                cache=cache,
+                cache_before=cache_before,
+            )
 
     # ------------------------------------------------------------------
     def partial_pass_batch(

@@ -31,6 +31,7 @@ from repro.core.instances import BatchedListColoringInstance
 __all__ = [
     "ShardPlan",
     "fusion_signatures",
+    "instance_fusion_signature",
     "merge_solve_results",
     "plan_shard_bounds",
     "plan_shards",
@@ -78,6 +79,20 @@ def fusion_signatures(batch: BatchedListColoringInstance) -> np.ndarray:
         1, _bit_length(np.maximum(0, np.asarray(batch.color_spaces, np.int64) - 1))
     )
     return np.stack([log_c, deltas], axis=1)
+
+
+def instance_fusion_signature(instance) -> tuple:
+    """Static seed-space signature ``(⌈log C⌉, Δ)`` of ONE instance.
+
+    The scalar twin of :func:`fusion_signatures` — identical values to the
+    row a batch built from this instance would get — used by the serving
+    layer's request coalescer to group unrelated requests that will fuse
+    their shared-seed sweeps once batched together.
+    """
+    graph = instance.graph
+    delta = int(graph.degrees.max()) if graph.n else 0
+    log_c = max(1, max(0, int(instance.color_space) - 1).bit_length())
+    return (log_c, delta)
 
 
 @dataclass

@@ -1,0 +1,7 @@
+"""Coloring-as-a-service: async intake, fusion-keyed request coalescing,
+streaming shard results over the batched solver (layer 5; see ROADMAP)."""
+
+from repro.serving.coalescer import PendingRequest, RequestCoalescer
+from repro.serving.service import ColoringService
+
+__all__ = ["ColoringService", "PendingRequest", "RequestCoalescer"]

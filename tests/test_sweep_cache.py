@@ -348,6 +348,84 @@ class TestDiskTier:
             assert_seed_choices_equal(ref, got, f"rewarm[{i}]")
 
 
+class TestDiskBudget:
+    """The ``disk_max_bytes`` budget: oldest-mtime pruning on store."""
+
+    @staticmethod
+    def seeded_entries(count: int):
+        entries = []
+        for seed in range(count):
+            _, sweep, order = make_sweep(seed=seed)
+            entries.append((sweep, order, full_counts(sweep, order)))
+        return entries
+
+    def test_prunes_oldest_mtime_first(self, tmp_path):
+        entries = self.seeded_entries(3)
+        probe = SweepResultCache(directory=tmp_path)
+        probe.store(entries[0][0].kernel, entries[0][2])
+        (entry_file,) = tmp_path.glob("*.npy")
+        nbytes = entry_file.stat().st_size
+        entry_file.unlink()
+        # Budget fits two entry files; storing three must evict exactly
+        # the oldest one.  mtimes are pinned so ordering never depends on
+        # filesystem timestamp granularity.
+        cache = SweepResultCache(
+            directory=tmp_path, disk_max_bytes=2 * nbytes + nbytes // 2
+        )
+        for age, (sweep, order, counts) in enumerate(entries):
+            cache.store(sweep.kernel, counts)
+            path = tmp_path / (sweep.kernel.fingerprint + ".npy")
+            os.utime(path, (1000.0 + age, 1000.0 + age))
+        assert cache.stats()["disk_evictions"] == 1
+        # Oldest mtime (seed 0) pruned; newer two survive on disk.
+        survivors = SweepResultCache(max_bytes=0, directory=tmp_path)
+        assert survivors.load(entries[0][0].kernel, entries[0][1]) is None
+        assert survivors.load(entries[1][0].kernel, entries[1][1]) is not None
+        assert survivors.load(entries[2][0].kernel, entries[2][1]) is not None
+
+    def test_zero_budget_keeps_nothing_but_still_serves_memory(self, tmp_path):
+        _, sweep, order = make_sweep()
+        counts = full_counts(sweep, order)
+        cache = SweepResultCache(directory=tmp_path, disk_max_bytes=0)
+        cache.store(sweep.kernel, counts)
+        assert list(tmp_path.glob("*.npy")) == []
+        assert cache.stats()["disk_evictions"] == 1
+        # The memory tier is untouched by disk pruning.
+        assert np.array_equal(cache.load(sweep.kernel, order), counts)
+        assert cache.stats()["hits"] == 1
+
+    def test_unbounded_default_never_evicts(self, tmp_path):
+        entries = self.seeded_entries(3)
+        cache = SweepResultCache(directory=tmp_path)
+        for sweep, order, counts in entries:
+            cache.store(sweep.kernel, counts)
+        assert cache.stats()["disk_evictions"] == 0
+        assert len(list(tmp_path.glob("*.npy"))) == 3
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="disk_max_bytes"):
+            SweepResultCache(directory=tmp_path, disk_max_bytes=-1)
+
+    def test_pruned_entry_recomputes_and_rewrites(self, tmp_path):
+        """A pruned entry is only a future disk miss: the next uncached
+        solve recomputes, rewrites, and stays byte-identical."""
+        group = random_group(2, seed=12)
+        reference = derandomize_phase_group(group)
+        seeder = SweepResultCache(max_bytes=0, directory=tmp_path)
+        derandomize_phase_group(group, sweep_cache=seeder)
+        (entry_file,) = tmp_path.glob("*.npy")
+        budget = entry_file.stat().st_size - 1  # too small: prune on store
+        entry_file.unlink()
+        tight = SweepResultCache(
+            max_bytes=0, directory=tmp_path, disk_max_bytes=budget
+        )
+        warm = derandomize_phase_group(group, sweep_cache=tight)
+        assert tight.stats()["disk_evictions"] >= 1
+        assert list(tmp_path.glob("*.npy")) == []
+        for i, (ref, got) in enumerate(zip(reference, warm)):
+            assert_seed_choices_equal(ref, got, f"pruned[{i}]")
+
+
 # ----------------------------------------------------------------------
 # 4. Fingerprints across processes + the cache-aware backend
 # ----------------------------------------------------------------------
