@@ -16,6 +16,10 @@ the batched solver core — the process backend shards batches across a
 worker pool and/or fans each phase's seed sweep out over shared memory,
 and produces byte-identical results either way, so the JSON records
 (including the coloring hash) do not depend on the backend.
+``--dispatch-retries N`` bounds the process backend's worker-crash
+recovery (retries on a rebuilt pool before the inline serial fallback);
+recovery recomputes deterministically, so the hash does not depend on
+whether workers died mid-run either.
 ``--sweep-cache memory|disk`` (with ``--sweep-cache-mb`` and, for the
 disk tier, ``--sweep-cache-dir`` plus an optional ``--sweep-cache-disk-mb``
 byte budget) memoizes the seed sweeps' integer count
@@ -100,6 +104,7 @@ def _make_backend(args, sweep_cache=None):
         workers=args.workers,
         sweep_workers=getattr(args, "sweep_workers", None),
         sweep_cache=sweep_cache,
+        max_retries=getattr(args, "dispatch_retries", None),
     )
 
 
@@ -251,6 +256,16 @@ def main(argv=None) -> int:
                 help="seed-axis parallelism of the process backend "
                 "(pool fan-out of each 2^m seed sweep; default: "
                 "--workers, 0 disables the seed axis)",
+            )
+            p.add_argument(
+                "--dispatch-retries",
+                type=int,
+                default=None,
+                help="worker-crash recovery budget of the process "
+                "backend: how many times a shard/sweep chunk whose "
+                "worker died is retried on a rebuilt pool before the "
+                "coordinator recomputes it inline (results stay "
+                "byte-identical either way; default: 2)",
             )
             p.add_argument(
                 "--sweep-cache",

@@ -197,7 +197,7 @@ class SweepResultCache:
             os.replace(tmp_path, self._disk_path(key))
             tmp_path = None
             self.disk_stores += 1
-            self._prune_disk()
+            self._prune_disk(exclude=key + ".npy")
         except OSError:
             self.disk_errors += 1
         finally:
@@ -207,10 +207,15 @@ class SweepResultCache:
                 except OSError:
                     pass
 
-    def _prune_disk(self) -> None:
+    def _prune_disk(self, exclude: str | None = None) -> None:
         """Enforce ``disk_max_bytes``: unlink oldest-mtime entries until the
-        tier fits.  The just-stored entry has the newest mtime, so it goes
-        last — it is only pruned if it alone exceeds the whole budget."""
+        tier fits.  ``exclude`` names the just-stored entry, explicitly
+        ordered *last* in the prune queue: mtime order alone cannot keep
+        it there, because on coarse-mtime filesystems (1 s granularity is
+        common) a burst of stores produces mtime ties and the tie-broken
+        sort can place the newest entry first — pruning would then evict
+        exactly the matrix about to be consulted.  It is still pruned as
+        the last resort, when it alone exceeds the whole budget."""
         if self.disk_max_bytes is None:
             return
         entries = []
@@ -226,6 +231,9 @@ class SweepResultCache:
                 entries.append((stat.st_mtime, entry.name, stat.st_size))
                 total += stat.st_size
         entries.sort()
+        if exclude is not None:
+            # Stable: mtime order is preserved within the non-excluded set.
+            entries.sort(key=lambda item: item[1] == exclude)
         for _mtime, name, size in entries:
             if total <= self.disk_max_bytes:
                 break

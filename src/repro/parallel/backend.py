@@ -36,6 +36,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 
 import numpy as np
@@ -97,6 +98,12 @@ class Backend:
     def partial_pass_batch(self, batch, psis, nums_input_colors, **kwargs):
         raise NotImplementedError
 
+    def prewarm(self) -> None:
+        """Eagerly build executor resources (no-op for in-process
+        backends).  Long-lived consumers — the serving layer — call this
+        at startup so the first request does not pay worker-spawn
+        latency."""
+
     def close(self) -> None:
         """Release executor resources (no-op for in-process backends)."""
 
@@ -127,6 +134,18 @@ class SerialBackend(Backend):
 
 def _slice(seq, lo: int, hi: int):
     return None if seq is None else list(seq[lo:hi])
+
+
+#: Per-dispatch fault-telemetry counters (``record["faults"]``):
+#: ``crashes`` — worker deaths observed (``BrokenProcessPool``);
+#: ``retries`` — shards/chunks re-dispatched onto a rebuilt pool;
+#: ``pool_rebuilds`` — executors dropped and recreated;
+#: ``serial_fallbacks`` — pieces recomputed inline after retries ran out.
+_FAULT_KEYS = ("crashes", "retries", "pool_rebuilds", "serial_fallbacks")
+
+
+def _new_faults() -> dict:
+    return {key: 0 for key in _FAULT_KEYS}
 
 
 class ProcessBackend(Backend):
@@ -168,6 +187,18 @@ class ProcessBackend(Backend):
         to the telemetry record under ``"cache"``, and the cost model's
         sweep-fraction calibration is skipped on fully-warm dispatches
         (no sweep was fanned out, so there is nothing to observe).
+    max_retries:
+        Crash-recovery budget: how many times a shard or sweep chunk
+        whose worker died (``BrokenProcessPool``) is re-dispatched onto a
+        rebuilt pool before the coordinator recomputes it inline.  Every
+        recovery path recomputes deterministically, so results stay
+        byte-identical to the serial backend whichever path answers.
+        ``0`` skips straight to the inline fallback.  Python exceptions
+        *raised* by worker code are not faults and propagate unchanged —
+        a deterministic recompute would fail identically.
+    retry_backoff:
+        Base seconds slept before retry ``n`` (linear: ``n *
+        retry_backoff``), giving a crash-looping host a breather.
 
     Per dispatch the backend plans over *both* axes and picks a mode:
 
@@ -185,12 +216,17 @@ class ProcessBackend(Backend):
 
     All three modes are byte-identical to the serial backend.  Every
     dispatch appends a telemetry record (mode, requested vs effective
-    shards, wall seconds) to :attr:`telemetry`; sweep-level records land
-    in :attr:`sweep_telemetry`.
+    shards, wall seconds, and a ``"faults"`` dict — crashes, retries,
+    pool rebuilds, serial fallbacks; all zero on a healthy dispatch) to
+    :attr:`telemetry`; sweep-level records land in
+    :attr:`sweep_telemetry`.
 
     The pool is created lazily on first dispatch and reused across calls
     (one backend can serve every color class of a decomposition, say);
-    :meth:`close` — or use as a context manager — shuts it down.
+    :meth:`prewarm` builds it eagerly.  :meth:`close` — or use as a
+    context manager — shuts it down *permanently*: dispatching or
+    prewarming a closed backend raises :class:`RuntimeError` instead of
+    silently resurrecting a pool the owner believed released.
     """
 
     name = "process"
@@ -204,6 +240,8 @@ class ProcessBackend(Backend):
         sweep_workers: int | None = None,
         cost_model: SweepCostModel | None = None,
         sweep_cache=None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ):
         import multiprocessing as mp
 
@@ -225,13 +263,22 @@ class ProcessBackend(Backend):
             raise ValueError(f"sweep_workers must be >= 0, got {sweep_workers}")
         self.cost_model = cost_model if cost_model is not None else SweepCostModel()
         self.sweep_cache = sweep_cache
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
         self.telemetry: list[dict] = []
         self.sweep_telemetry: list[dict] = []
         self._executor: ProcessPoolExecutor | None = None
         self._dispatcher: SeedChunkDispatcher | None = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     def _pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("backend is closed")
         if self._executor is None:
             import multiprocessing as mp
 
@@ -241,9 +288,32 @@ class ProcessBackend(Backend):
             )
         return self._executor
 
+    def prewarm(self) -> None:
+        """Build the worker pool now rather than on first dispatch.
+
+        A no-op for configurations that never fan out (``workers == 1``
+        with the seed axis off — dispatches run inline and a pool would
+        only burn memory).  Raises :class:`RuntimeError` after
+        :meth:`close`.
+        """
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if max(self.workers, self.sweep_workers) > 1:
+            self._pool()
+
     def close(self) -> None:
+        self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _rebuild_pool(self) -> None:
+        """Drop a broken executor so the next :meth:`_pool` call builds a
+        fresh one.  ``wait=False``: the dead pool's remaining workers are
+        unjoinable anyway, and a SIGKILLed pool can deadlock a waiting
+        shutdown."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
     def _sweep_dispatcher(self) -> SeedChunkDispatcher:
@@ -253,8 +323,84 @@ class ProcessBackend(Backend):
                 self.sweep_workers,
                 cost_model=self.cost_model,
                 telemetry=self.sweep_telemetry,
+                on_pool_broken=self._rebuild_pool,
+                max_retries=self.max_retries,
+                retry_backoff=self.retry_backoff,
             )
         return self._dispatcher
+
+    def _pool_map_with_recovery(self, worker_fn, payloads, inline_fn, faults):
+        """Yield ``(index, output)`` for every payload, in completion
+        order, surviving worker death.
+
+        All payloads are submitted to the pool; ``BrokenProcessPool`` —
+        raised at submit time if the pool is already poisoned, or on any
+        individual future — marks those payloads failed instead of
+        escaping.  The broken executor is dropped and rebuilt and the
+        failed payloads re-submitted, up to ``max_retries`` rounds with
+        linear backoff; whatever still fails is computed inline via
+        ``inline_fn``, so a degraded backend answers every dispatch.
+        Recomputation is deterministic, so a retried or inlined piece's
+        bytes are identical to a first-try pool solve.  Python exceptions
+        *raised by* worker code propagate unchanged — they are bugs, not
+        faults, and a deterministic recompute would fail identically.
+        ``faults`` is mutated in place (see ``_FAULT_KEYS``).  Closing
+        the generator early cancels not-yet-started futures, exactly like
+        the pre-recovery stream.
+        """
+        pending = dict(enumerate(payloads))
+        attempts = 0
+        while True:
+            failed = {}
+            futures = {}
+            try:
+                pool = self._pool()
+                for j in sorted(pending):
+                    futures[pool.submit(worker_fn, pending[j])] = j
+            except BrokenProcessPool:
+                # Pool already broken at submit time: whatever did not
+                # make it in is collected below, after the futures that
+                # did land are drained.
+                faults["crashes"] += 1
+            try:
+                for future in as_completed(futures):
+                    j = futures[future]
+                    try:
+                        output = future.result()
+                    except BrokenProcessPool:
+                        faults["crashes"] += 1
+                        failed[j] = pending[j]
+                    else:
+                        yield j, output
+            finally:
+                # Early close (GeneratorExit) or a worker exception: drop
+                # pieces that have not started; the pool survives.
+                for future in futures:
+                    future.cancel()
+            submitted = set(futures.values())
+            for j, payload in pending.items():
+                if j not in submitted:
+                    failed[j] = payload
+            if not failed:
+                return
+            # Worker death poisons the executor permanently — drop and
+            # rebuild it even when falling back inline, so the *next*
+            # dispatch finds a live pool.
+            self._rebuild_pool()
+            faults["pool_rebuilds"] += 1
+            pending = failed
+            if attempts < self.max_retries:
+                attempts += 1
+                faults["retries"] += len(pending)
+                if self.retry_backoff > 0.0:
+                    time.sleep(self.retry_backoff * attempts)
+                continue
+            break
+        # Retries exhausted: the coordinator recomputes the failed pieces
+        # inline, in index order.
+        faults["serial_fallbacks"] += len(pending)
+        for j in sorted(pending):
+            yield j, inline_fn(pending[j])
 
     def _active_cache(self):
         """The cache inline dispatches will consult: the backend's own, or
@@ -311,6 +457,8 @@ class ProcessBackend(Backend):
         sweeps_before: int,
         cache=None,
         cache_before=None,
+        faults=None,
+        dispatcher_faults_before=None,
     ):
         record = {
             "op": op,
@@ -319,6 +467,14 @@ class ProcessBackend(Backend):
             "effective_shards": int(plan.effective_shards),
             "wall_seconds": wall,
         }
+        # "faults" merges the instance-axis counters (mutated in place by
+        # _pool_map_with_recovery) with this dispatch's delta of the sweep
+        # dispatcher's cumulative counters.
+        merged = dict(faults) if faults is not None else _new_faults()
+        if dispatcher_faults_before is not None and self._dispatcher is not None:
+            for key, value in self._dispatcher.fault_counters.items():
+                merged[key] = merged.get(key, 0) + value - dispatcher_faults_before.get(key, 0)
+        record["faults"] = merged
         if cache is not None and cache_before is not None:
             after = cache.stats()
             # Counters as this-dispatch deltas; occupancy as absolutes.
@@ -398,6 +554,8 @@ class ProcessBackend(Backend):
         streamed dispatch includes any time the consumer spends between
         chunks.
         """
+        if self._closed:
+            raise RuntimeError("backend is closed")
         if rng is not None:
             raise ValueError(
                 "the process backend requires derandomized solves "
@@ -436,6 +594,12 @@ class ProcessBackend(Backend):
         sweeps_before = len(self.sweep_telemetry)
         cache = self._active_cache()
         cache_before = cache.stats() if cache is not None else None
+        faults = _new_faults()
+        disp_before = (
+            dict(self._dispatcher.fault_counters)
+            if self._dispatcher is not None
+            else {}
+        )
         start_time = time.perf_counter()
 
         def solve_inline(sub_batch, lo, hi):
@@ -474,16 +638,8 @@ class ProcessBackend(Backend):
                 yield (0, batch.num_instances, result)
             else:
                 bounds = plan.bounds
-                pool = self._pool()
-                futures = {}
-                for j, (shard, lo, hi) in enumerate(
-                    zip(
-                        batch.shard(bounds),
-                        bounds[:-1].tolist(),
-                        bounds[1:].tolist(),
-                    )
-                ):
-                    payload = (
+                payloads = [
+                    (
                         shard,
                         dict(
                             r_schedule=r_schedule,
@@ -494,24 +650,34 @@ class ProcessBackend(Backend):
                             nums_input_colors=_slice(nums_input_colors, lo, hi),
                         ),
                     )
-                    futures[pool.submit(solve_shard_timed, payload)] = j
-                try:
-                    for future in as_completed(futures):
-                        j = futures[future]
-                        result, seconds = future.result()
-                        nodes = int(
-                            batch.instance_offsets[bounds[j + 1]]
-                            - batch.instance_offsets[bounds[j]]
-                        )
-                        self.cost_model.observe_shard(
-                            plan.shard_signature(j), nodes, seconds
-                        )
-                        yield (int(bounds[j]), int(bounds[j + 1]), result)
-                finally:
-                    # Early close (GeneratorExit) or a shard failure: drop
-                    # shards that have not started; the pool survives.
-                    for future in futures:
-                        future.cancel()
+                    for shard, lo, hi in zip(
+                        batch.shard(bounds),
+                        bounds[:-1].tolist(),
+                        bounds[1:].tolist(),
+                    )
+                ]
+
+                def inline_shard(payload):
+                    # Serial-fallback twin of worker.solve_shard_timed,
+                    # running in the coordinator: pin the null scopes the
+                    # worker would, never the fault-injection hook.
+                    shard, kwargs = payload
+                    begin = time.perf_counter()
+                    with sweep_dispatch_scope(None), sweep_cache_scope(None):
+                        result = solve_list_coloring_batch(shard, **kwargs)
+                    return result, time.perf_counter() - begin
+
+                for j, (result, seconds) in self._pool_map_with_recovery(
+                    solve_shard_timed, payloads, inline_shard, faults
+                ):
+                    nodes = int(
+                        batch.instance_offsets[bounds[j + 1]]
+                        - batch.instance_offsets[bounds[j]]
+                    )
+                    self.cost_model.observe_shard(
+                        plan.shard_signature(j), nodes, seconds
+                    )
+                    yield (int(bounds[j]), int(bounds[j + 1]), result)
         finally:
             self._record(
                 "solve",
@@ -521,6 +687,8 @@ class ProcessBackend(Backend):
                 sweeps_before,
                 cache=cache,
                 cache_before=cache_before,
+                faults=faults,
+                dispatcher_faults_before=disp_before,
             )
 
     # ------------------------------------------------------------------
@@ -538,6 +706,8 @@ class ProcessBackend(Backend):
     ):
         from repro.core.partial_coloring import partial_coloring_pass_batch
 
+        if self._closed:
+            raise RuntimeError("backend is closed")
         if rng is not None:
             raise ValueError(
                 "the process backend requires derandomized solves "
@@ -551,6 +721,12 @@ class ProcessBackend(Backend):
         sweeps_before = len(self.sweep_telemetry)
         cache = self._active_cache()
         cache_before = cache.stats() if cache is not None else None
+        faults = _new_faults()
+        disp_before = (
+            dict(self._dispatcher.fault_counters)
+            if self._dispatcher is not None
+            else {}
+        )
         start_time = time.perf_counter()
         psis = np.asarray(psis, dtype=np.int64)
 
@@ -610,10 +786,27 @@ class ProcessBackend(Backend):
                         ),
                     )
                 )
+            def inline_pass(payload):
+                # Serial-fallback twin of worker.partial_pass_shard_timed,
+                # running in the coordinator: pin the null scopes the
+                # worker would, never the fault-injection hook.
+                from repro.engine.rounds import RoundLedger
+
+                shard, shard_psis, shard_colors, ledger_mask, kwargs = payload
+                begin = time.perf_counter()
+                fresh = [RoundLedger() if has else None for has in ledger_mask]
+                with sweep_dispatch_scope(None), sweep_cache_scope(None):
+                    shard_outcomes = partial_coloring_pass_batch(
+                        shard, shard_psis, shard_colors, ledgers=fresh, **kwargs
+                    )
+                return shard_outcomes, fresh, time.perf_counter() - begin
+
             outcomes = []
-            shard_outputs = list(
-                self._pool().map(partial_pass_shard_timed, payloads)
-            )
+            shard_outputs = [None] * len(payloads)
+            for j, output in self._pool_map_with_recovery(
+                partial_pass_shard_timed, payloads, inline_pass, faults
+            ):
+                shard_outputs[j] = output
             for j, (lo, (shard_outcomes, shard_ledgers, seconds)) in enumerate(
                 zip(bounds[:-1].tolist(), shard_outputs)
             ):
@@ -634,6 +827,7 @@ class ProcessBackend(Backend):
         self._record(
             "partial_pass", mode, plan, time.perf_counter() - start_time,
             sweeps_before, cache=cache, cache_before=cache_before,
+            faults=faults, dispatcher_faults_before=disp_before,
         )
         return outcomes
 
@@ -671,13 +865,16 @@ def resolve_backend(
     workers: int | None = None,
     sweep_workers: int | None = None,
     sweep_cache=None,
+    max_retries: int | None = None,
 ) -> Backend:
     """Coerce ``None`` / a name / a :class:`Backend` into a backend.
 
     ``None`` and ``"serial"`` give the in-process default; ``"process"``
     builds a :class:`ProcessBackend` (with ``workers`` / ``sweep_workers``
-    / ``sweep_cache`` if given).  Backend instances pass through
-    untouched, so callers can share one pool.
+    / ``sweep_cache`` / ``max_retries`` if given — ``max_retries`` is the
+    worker-crash retry budget before the inline serial fallback).
+    Backend instances pass through untouched, so callers can share one
+    pool.
     """
     if backend is None:
         return SerialBackend()
@@ -687,10 +884,14 @@ def resolve_backend(
         if backend == "serial":
             return SerialBackend()
         if backend == "process":
+            kwargs = {}
+            if max_retries is not None:
+                kwargs["max_retries"] = max_retries
             return ProcessBackend(
                 workers=workers,
                 sweep_workers=sweep_workers,
                 sweep_cache=sweep_cache,
+                **kwargs,
             )
         raise ValueError(
             f"unknown backend {backend!r} (expected 'serial' or 'process')"

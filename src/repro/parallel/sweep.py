@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import secrets
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
@@ -210,6 +211,28 @@ class SeedChunkDispatcher:
 
     ``pool_factory`` is called per dispatch so the backend's lazily
     created ``ProcessPoolExecutor`` is shared between both axes.
+
+    **Crash recovery.**  A pool worker dying mid-chunk (OOM kill,
+    segfault, ``os._exit``) surfaces as ``BrokenProcessPool`` on that
+    chunk's future and permanently poisons the executor.  Because the
+    counting kernel is deterministic and each chunk is the sole producer
+    of its row range, recovery is purely mechanical: ``on_pool_broken``
+    (the backend's pool rebuild) is invoked, the *failed* chunks — and
+    only those — are re-dispatched up to ``max_retries`` times with
+    linear backoff, and whatever still fails is recomputed inline by the
+    coordinator, straight into the same shared segment.  The assembled
+    integer matrix is byte-identical in every case.  The
+    coordinator-owned segment is closed *and* unlinked in a ``finally``
+    whether workers died or not, so a SIGKILLed worker cannot leak
+    ``/dev/shm`` space.  Cumulative counters land in
+    :attr:`fault_counters` (``crashes`` / ``retries`` / ``pool_rebuilds``
+    / ``serial_fallbacks``); the backend diffs them per dispatch into its
+    telemetry.  Without an ``on_pool_broken`` rebuild hook a broken pool
+    cannot heal, so failed chunks go straight to the inline fallback.
+
+    Exceptions *raised by* chunk code (a Python error inside the kernel)
+    are not recovery material — recomputing a deterministic error fails
+    identically — and propagate unchanged.
     """
 
     def __init__(
@@ -221,6 +244,9 @@ class SeedChunkDispatcher:
         min_entries: int = 1 << 15,
         max_entries: int = 1 << 27,
         chunks: int | None = None,
+        on_pool_broken=None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ):
         self.pool_factory = pool_factory
         self.workers = int(workers)
@@ -229,6 +255,17 @@ class SeedChunkDispatcher:
         self.min_entries = int(min_entries)
         self.max_entries = int(max_entries)
         self.chunks = chunks  #: fixed chunk count (tests); None → cost model
+        self.on_pool_broken = on_pool_broken
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        #: Cumulative worker-death counters (per-dispatch deltas are
+        #: diffed into ``backend.telemetry`` records as ``"faults"``).
+        self.fault_counters = {
+            "crashes": 0,
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "serial_fallbacks": 0,
+        }
         #: Creating process.  ``fork`` clones the ambient dispatch scope
         #: into pool workers, where this dispatcher's pool handle is a dead
         #: copy — a forked copy must decline so the serial loop runs there.
@@ -253,33 +290,106 @@ class SeedChunkDispatcher:
             )
         return chunks if chunks > 1 else 0
 
+    def _run_chunks(self, kernel, shm_name: str, order: int, spans: list):
+        """Dispatch one round of chunk tasks; return ``(failed_spans,
+        kernel_seconds)``.  Worker death (``BrokenProcessPool`` — at
+        submit time if the pool is already broken, or on a chunk's
+        future) marks that chunk failed instead of raising; every other
+        exception propagates unchanged."""
+        from repro.parallel.worker import sweep_chunk_counts
+
+        kernel_seconds = 0.0
+        failed = []
+        futures = []
+        try:
+            pool = self.pool_factory()
+            for lo, hi in spans:
+                futures.append(
+                    (
+                        pool.submit(
+                            sweep_chunk_counts, (kernel, shm_name, order, lo, hi)
+                        ),
+                        (lo, hi),
+                    )
+                )
+        except BrokenProcessPool:
+            # The pool was already broken: whatever did not make it in
+            # joins the failed set.
+            self.fault_counters["crashes"] += 1
+            failed.extend(spans[len(futures):])
+        for future, span in futures:
+            try:
+                _lo, _hi, seconds = future.result()
+            except BrokenProcessPool:
+                self.fault_counters["crashes"] += 1
+                failed.append(span)
+            else:
+                kernel_seconds += seconds
+        return failed, kernel_seconds
+
     def _fan_out(self, kernel, order: int, chunks: int, consume):
         """Run the chunked integer fan-out and hand the assembled count
         matrix (a view into the shared segment) to ``consume`` before the
         segment is released.  Returns ``(consume_result, kernel_seconds,
-        wall_seconds)``."""
-        from repro.parallel.worker import sweep_chunk_counts
+        wall_seconds)``.
 
+        Worker death never escapes this method: failed chunks are retried
+        on a rebuilt pool (``on_pool_broken``) up to ``max_retries``
+        times, then recomputed inline — each chunk is elementwise over
+        its own row range, so any mix of pool and inline producers
+        assembles the identical integer matrix.  The shared segment
+        outlives the retries (the coordinator owns it; a SIGKILLed
+        worker's mapping dies with the worker) and is closed and unlinked
+        in the ``finally`` on every path."""
         # Exact integer chunk edges: covers [0, order) for any chunk count,
         # dividing or not.
         edges = (order * np.arange(chunks + 1, dtype=np.int64)) // chunks
+        spans = [
+            (int(lo), int(hi))
+            for lo, hi in zip(edges[:-1], edges[1:])
+            if hi > lo
+        ]
         entries = order * kernel.count_width
         start_time = time.perf_counter()
         shm = create_sweep_shm(entries * np.dtype(np.int64).itemsize)
         kernel_seconds = 0.0
         try:
-            pool = self.pool_factory()
-            futures = [
-                pool.submit(
-                    sweep_chunk_counts,
-                    (kernel, shm.name, order, int(lo), int(hi)),
-                )
-                for lo, hi in zip(edges[:-1], edges[1:])
-                if hi > lo
-            ]
-            for future in futures:
-                _lo, _hi, seconds = future.result()
+            pending = spans
+            attempts = 0
+            while pending:
+                failed, seconds = self._run_chunks(kernel, shm.name, order, pending)
                 kernel_seconds += seconds
+                if not failed:
+                    break
+                failed.sort()
+                if self.on_pool_broken is not None:
+                    # Heal the executor now, even if this dispatch falls
+                    # back inline: the next sweep must find a live pool.
+                    self.on_pool_broken()
+                    self.fault_counters["pool_rebuilds"] += 1
+                    if attempts < self.max_retries:
+                        attempts += 1
+                        self.fault_counters["retries"] += len(failed)
+                        if self.retry_backoff > 0.0:
+                            time.sleep(self.retry_backoff * attempts)
+                        pending = failed
+                        continue
+                # Retries exhausted (or no rebuild hook): the coordinator
+                # recomputes just the failed row ranges inline.
+                fallback_start = time.perf_counter()
+                view = np.ndarray(
+                    (order, kernel.count_width), dtype=np.int64, buffer=shm.buf
+                )
+                try:
+                    for lo, hi in failed:
+                        kernel.count_rows(
+                            np.arange(lo, hi, dtype=np.int64), out=view[lo:hi]
+                        )
+                finally:
+                    del view  # drop the buffer view before close()
+                kernel_seconds += time.perf_counter() - fallback_start
+                self.fault_counters["serial_fallbacks"] += len(failed)
+                break
 
             counts = np.ndarray(
                 (order, kernel.count_width), dtype=np.int64, buffer=shm.buf

@@ -10,6 +10,7 @@ arrays) plus the per-shard keyword slices.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -17,12 +18,43 @@ import numpy as np
 from repro.engine.rounds import RoundLedger
 
 __all__ = [
+    "FAULT_ENV",
     "solve_shard",
     "solve_shard_timed",
     "partial_pass_shard",
     "partial_pass_shard_timed",
     "sweep_chunk_counts",
 ]
+
+#: Opt-in fault injection for the crash-recovery tests (see
+#: ``tests/faults.py``).  The value is ``<action>:<marker>:<guard_pid>``:
+#: ``exit-once`` makes the first worker call that wins the marker-file
+#: race die via ``os._exit(1)`` (an abrupt, SIGKILL-like death — no
+#: cleanup, no exception back to the pool); ``exit-always`` kills every
+#: worker call.  ``guard_pid`` names the coordinating process, which
+#: never injects — so the coordinator's inline serial fallbacks are safe
+#: even if they shared these entry points.  Unset (the default) the hook
+#: is a single dict lookup per task.
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+
+def _maybe_inject_fault() -> None:
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    action, _, rest = spec.partition(":")
+    marker, _, guard_pid = rest.partition(":")
+    if guard_pid and guard_pid == str(os.getpid()):
+        return
+    if action == "exit-always":
+        os._exit(1)
+    if action == "exit-once" and marker:
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # another call already took the hit
+        os.close(fd)
+        os._exit(1)
 
 
 def solve_shard(payload):
@@ -36,6 +68,7 @@ def solve_shard(payload):
     coordinator's sweep-result cache and grow a private, never-shared
     copy of it in every pool process.
     """
+    _maybe_inject_fault()
     shard, kwargs = payload
     from repro.core.derandomize import sweep_cache_scope, sweep_dispatch_scope
     from repro.core.list_coloring import solve_list_coloring_batch
@@ -63,6 +96,7 @@ def sweep_chunk_counts(payload):
     elementwise per row, so the assembled matrix is bit-identical to one
     serial enumeration.  Returns ``(lo, hi, kernel_seconds)``.
     """
+    _maybe_inject_fault()
     kernel, shm_name, total_rows, lo, hi = payload
     from repro.parallel.sweep import attach_sweep_shm
 
@@ -88,6 +122,7 @@ def partial_pass_shard(payload):
     instance i; a fresh ledger is charged here and shipped back so the
     dispatcher can replay its events into the caller's ledger.
     """
+    _maybe_inject_fault()
     shard, psis, nums_input_colors, ledger_mask, kwargs = payload
     from repro.core.derandomize import sweep_cache_scope, sweep_dispatch_scope
     from repro.core.partial_coloring import partial_coloring_pass_batch

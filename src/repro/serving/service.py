@@ -42,7 +42,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.core.derandomize import sweep_cache_scope
 from repro.core.instances import BatchedListColoringInstance
 from repro.core.sweep_cache import SweepResultCache
-from repro.parallel.backend import Backend, ProcessBackend, resolve_backend
+from repro.parallel.backend import Backend, resolve_backend
 from repro.parallel.sharding import instance_fusion_signature
 from repro.serving.coalescer import PendingRequest, RequestCoalescer
 
@@ -165,13 +165,11 @@ class ColoringService:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serving"
         )
-        if isinstance(self._backend, ProcessBackend) and (
-            max(self._backend.workers, self._backend.sweep_workers) > 1
-        ):
-            # Pre-warm from the loop thread: under the fork start method,
-            # creating worker processes before any dispatch thread exists
-            # avoids forking a multi-threaded coordinator.
-            self._backend._pool()
+        # Pre-warm from the loop thread: under the fork start method,
+        # creating worker processes before any dispatch thread exists
+        # avoids forking a multi-threaded coordinator.  (A no-op for
+        # backends that never fan out.)
+        self._backend.prewarm()
         self._worker_task = self._loop.create_task(self._dispatch_worker())
         self._timer_task = self._loop.create_task(self._timer_loop())
         return self
@@ -309,7 +307,15 @@ class ColoringService:
         Runs under the service cache scope (contextvars are per-thread, so
         the scope must be entered here, not on the loop thread); the
         backend's own cache, if any, takes precedence for its inline
-        dispatches — by construction the same object."""
+        dispatches — by construction the same object.
+
+        The telemetry record is appended in a ``finally`` so a dispatch
+        that raises mid-stream is still visible: failed batches carry an
+        ``"error"`` field (and their cache delta covers the work done up
+        to the failure) instead of vanishing from
+        :attr:`batch_telemetry` / :meth:`stats`.  When the backend
+        recovered from worker crashes, the record also carries the summed
+        ``"faults"`` counters of this dispatch's backend records."""
         batch = BatchedListColoringInstance.from_instances(
             [request.instance for request in group]
         )
@@ -317,43 +323,63 @@ class ColoringService:
         cache_before = (
             self.sweep_cache.stats() if self.sweep_cache is not None else None
         )
+        backend_telemetry = getattr(self._backend, "telemetry", None)
+        records_before = (
+            len(backend_telemetry) if backend_telemetry is not None else 0
+        )
         chunks = 0
-        with sweep_cache_scope(self.sweep_cache):
-            for lo, _hi, chunk in self._backend.solve_batch_iter(
-                batch,
-                r_schedule=self._r_schedule,
-                strict=self._strict,
-                verify=self._verify,
-            ):
-                chunks += 1
-                now = time.monotonic()
-                for offset, result in enumerate(chunk.results):
-                    request = group[lo + offset]
-                    self._loop.call_soon_threadsafe(
-                        self._finish_request,
-                        request,
-                        result,
-                        now - request.enqueued_at,
-                    )
-        record = {
-            "signature": group[0].signature,
-            "size": len(group),
-            "chunks": chunks,
-            "wall_seconds": time.perf_counter() - start,
-        }
-        if cache_before is not None:
-            after = self.sweep_cache.stats()
-            absolute = ("memory_bytes", "entries")
-            record["cache"] = {
-                key: value if key in absolute else value - cache_before[key]
-                for key, value in after.items()
+        error = None
+        try:
+            with sweep_cache_scope(self.sweep_cache):
+                for lo, _hi, chunk in self._backend.solve_batch_iter(
+                    batch,
+                    r_schedule=self._r_schedule,
+                    strict=self._strict,
+                    verify=self._verify,
+                ):
+                    chunks += 1
+                    now = time.monotonic()
+                    for offset, result in enumerate(chunk.results):
+                        request = group[lo + offset]
+                        self._loop.call_soon_threadsafe(
+                            self._finish_request,
+                            request,
+                            result,
+                            now - request.enqueued_at,
+                        )
+        except BaseException as exc:  # re-raised; recorded first
+            error = exc
+            raise
+        finally:
+            record = {
+                "signature": group[0].signature,
+                "size": len(group),
+                "chunks": chunks,
+                "wall_seconds": time.perf_counter() - start,
             }
-        # Appended on the loop thread so telemetry lists are single-writer.
-        # A caller racing in right after its own future resolved may not
-        # see its batch's record yet (the record is built after the final
-        # chunk's resolutions are scheduled — holding those back would
-        # defeat streaming); after close() the lists are complete.
-        self._loop.call_soon_threadsafe(self.batch_telemetry.append, record)
+            if error is not None:
+                record["error"] = repr(error)
+            if backend_telemetry is not None:
+                faults: dict = {}
+                for entry in backend_telemetry[records_before:]:
+                    for key, value in entry.get("faults", {}).items():
+                        faults[key] = faults.get(key, 0) + value
+                if faults:
+                    record["faults"] = faults
+            if cache_before is not None:
+                after = self.sweep_cache.stats()
+                absolute = ("memory_bytes", "entries")
+                record["cache"] = {
+                    key: value if key in absolute else value - cache_before[key]
+                    for key, value in after.items()
+                }
+            # Appended on the loop thread so telemetry lists are
+            # single-writer.  A caller racing in right after its own future
+            # resolved may not see its batch's record yet (the record is
+            # built after the final chunk's resolutions are scheduled —
+            # holding those back would defeat streaming); after close() the
+            # lists are complete.
+            self._loop.call_soon_threadsafe(self.batch_telemetry.append, record)
 
     def _finish_request(self, request, result, latency: float) -> None:
         self.request_latencies.append(latency)
@@ -367,8 +393,18 @@ class ColoringService:
         Batch records land on the event loop just after their final
         chunk's resolutions, so a snapshot taken the instant one's own
         request resolved may lag by that one in-flight batch; a snapshot
-        after :meth:`close` is complete and exact."""
+        after :meth:`close` is complete and exact.
+
+        ``"faults"`` sums the per-batch fault counters (worker crashes,
+        retries, pool rebuilds, serial fallbacks — see
+        :class:`~repro.parallel.backend.ProcessBackend`) and
+        ``"failed_batches"`` counts batches whose dispatch raised (their
+        records carry ``"error"``)."""
         sizes = [record["size"] for record in self.batch_telemetry]
+        faults: dict = {}
+        for record in self.batch_telemetry:
+            for key, value in record.get("faults", {}).items():
+                faults[key] = faults.get(key, 0) + value
         return {
             "requests": self._n_requests,
             "completed": len(self.request_latencies),
@@ -376,6 +412,10 @@ class ColoringService:
             "batch_sizes": sizes,
             "mean_batch_size": (sum(sizes) / len(sizes)) if sizes else 0.0,
             "pending": self._coalescer.pending_count,
+            "failed_batches": sum(
+                1 for record in self.batch_telemetry if "error" in record
+            ),
+            "faults": faults,
             "cache": (
                 self.sweep_cache.stats() if self.sweep_cache is not None else None
             ),

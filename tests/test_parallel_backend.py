@@ -330,6 +330,30 @@ class TestResolution:
         backend = SerialBackend()
         assert resolve_backend(backend) is backend
 
+    def test_resolve_max_retries_knob(self):
+        backend = resolve_backend("process", workers=1, max_retries=5)
+        assert backend.max_retries == 5
+        backend.close()
+        default = resolve_backend("process", workers=1)
+        assert default.max_retries == 2  # constructor default untouched
+        default.close()
+
+    def test_healthy_dispatch_records_zero_faults(self, process_backend):
+        """Every dispatch record carries "faults"; without worker deaths
+        the counters are all zero (the observability baseline the crash
+        tests diff against)."""
+        batch = BatchedListColoringInstance.from_instances(
+            [random_instance(np.random.default_rng(5)) for _ in range(4)]
+        )
+        solve_list_coloring_batch(batch, backend=process_backend)
+        record = process_backend.telemetry[-1]
+        assert record["faults"] == {
+            "crashes": 0,
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "serial_fallbacks": 0,
+        }
+
     def test_resolve_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown backend"):
             resolve_backend("gpu")

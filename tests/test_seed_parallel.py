@@ -205,6 +205,37 @@ class TestShmLifecycle:
             dispatcher.sweep_val1(sweep, order, 16, out)
         assert leaked_segments() == []
 
+    def test_broken_pool_falls_back_inline_without_rebuild_hook(self):
+        """Worker death with no ``on_pool_broken`` hook: retrying the same
+        broken pool is futile, so the dispatcher recomputes the failed
+        chunks inline — same bytes, segment still unlinked, and the fault
+        counters record the crash and the fallback."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from faults import kill_self
+
+        pool = ProcessPoolExecutor(max_workers=1)
+        try:
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(kill_self).result(timeout=60)
+            dispatcher = SeedChunkDispatcher(lambda: pool, 2, chunks=2)
+            group = random_group(1, seed=7)
+            sweep = SeedSweepWorkspace(group)
+            order = 1 << group[0].family.m
+            serial = SeedSweepWorkspace(group).expected_rows(
+                np.arange(order, dtype=np.int64)
+            )
+            out = np.empty_like(serial)
+            assert dispatcher.sweep_val1(sweep, order, 16, out) is True
+            assert np.array_equal(out, serial)
+            assert dispatcher.fault_counters["crashes"] >= 1
+            assert dispatcher.fault_counters["serial_fallbacks"] == 2
+            assert dispatcher.fault_counters["pool_rebuilds"] == 0
+            assert dispatcher.fault_counters["retries"] == 0
+        finally:
+            pool.shutdown(wait=False)
+        assert leaked_segments() == []
+
     def test_attach_does_not_adopt_lifetime(self):
         shm = create_sweep_shm(128)
         name = shm.name

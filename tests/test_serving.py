@@ -483,8 +483,38 @@ class TestServiceBehavior:
         assert stats["pending"] == 0
         assert sum(stats["batch_sizes"]) == 4
         assert stats["batches"] == len(service.batch_telemetry)
+        assert stats["failed_batches"] == 0
+        assert stats["faults"] == {}  # serial backend: nothing to sum
         assert len(service.request_latencies) == 4
         assert all(latency >= 0.0 for latency in service.request_latencies)
         for record in service.batch_telemetry:
             assert record["chunks"] >= 1
             assert record["wall_seconds"] >= 0.0
+            assert "error" not in record
+
+    def test_failed_batch_still_recorded_with_error(self):
+        """A dispatch that raises mid-stream must not vanish from
+        batch_telemetry: its record lands with an ``"error"`` field and a
+        cache delta for the work done before the failure."""
+
+        class ExplodingBackend(SerialBackend):
+            def solve_batch_iter(self, batch, **kwargs):
+                raise RuntimeError("stream died")
+                yield  # pragma: no cover - makes this a generator
+
+        service = ColoringService(ExplodingBackend(), max_batch_instances=1)
+
+        async def drive():
+            async with service:
+                with pytest.raises(RuntimeError, match="stream died"):
+                    await service.submit(regular_instance(0))
+
+        asyncio.run(drive())
+        (record,) = service.batch_telemetry
+        assert "stream died" in record["error"]
+        assert record["chunks"] == 0
+        assert record["size"] == 1
+        assert "cache" in record  # delta still computed on the error path
+        stats = service.stats()
+        assert stats["failed_batches"] == 1
+        assert stats["batches"] == 1

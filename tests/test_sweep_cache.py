@@ -406,6 +406,33 @@ class TestDiskBudget:
         with pytest.raises(ValueError, match="disk_max_bytes"):
             SweepResultCache(directory=tmp_path, disk_max_bytes=-1)
 
+    def test_just_stored_entry_survives_mtime_ties(self, tmp_path):
+        """Coarse-mtime filesystems can stamp a just-stored entry no newer
+        than (or even older than) existing entries; pruning must never
+        evict the entry it just wrote while older ones remain — but it
+        stays prunable as the last resort, alone over the whole budget."""
+        entries = self.seeded_entries(3)
+        cache = SweepResultCache(directory=tmp_path)
+        names = []
+        for sweep, order, counts in entries:
+            cache.store(sweep.kernel, counts)
+            names.append(sweep.kernel.fingerprint + ".npy")
+        # Worst case of an mtime tie-break: the newest entry carries the
+        # OLDEST timestamp — pure mtime pruning would evict it first.
+        for name, mtime in zip(names, (1002.0, 1001.0, 1000.0)):
+            os.utime(tmp_path / name, (mtime, mtime))
+        size = (tmp_path / names[2]).stat().st_size
+        cache.disk_max_bytes = 2 * size + size // 2  # fits two entries
+        cache._prune_disk(exclude=names[2])
+        survivors = {path.name for path in tmp_path.glob("*.npy")}
+        assert names[2] in survivors, "pruned the entry it just stored"
+        assert len(survivors) == 2
+        assert cache.stats()["disk_evictions"] == 1
+        # Last resort: alone it exceeds the budget, so it goes too.
+        cache.disk_max_bytes = size - 1
+        cache._prune_disk(exclude=names[2])
+        assert list(tmp_path.glob("*.npy")) == []
+
     def test_pruned_entry_recomputes_and_rewrites(self, tmp_path):
         """A pruned entry is only a future disk miss: the next uncached
         solve recomputes, rewrites, and stays byte-identical."""
